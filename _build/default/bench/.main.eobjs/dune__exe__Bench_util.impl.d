@@ -1,0 +1,1 @@
+bench/bench_util.ml: Alt Float Fmt List Machine String Sys Unix

@@ -1,0 +1,1 @@
+bench/fig1.ml: Alt Bench_util Float Fmt List Machine Measure Ops Templates Tuner

@@ -1,0 +1,1 @@
+bench/fig10.ml: Alt Bench_util Compile Fmt Graph_tuner List Machine Propagate Zoo

@@ -1,0 +1,1 @@
+bench/fig11.ml: Alt Bench_util Float Fmt List Machine Measure Ops Option Ppo String Tuner

@@ -1,0 +1,1 @@
+bench/fig12.ml: Alt Array Bench_util Buffer Float Fmt Layout List Lower Machine Measure Opdef Ops Profiler Propagate Templates Tuner

@@ -1,0 +1,1 @@
+bench/fig13.ml: Alt Bench_util Compile Fmt Graph_tuner List Machine Zoo

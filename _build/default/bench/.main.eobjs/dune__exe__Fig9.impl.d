@@ -1,0 +1,1 @@
+bench/fig9.ml: Alt Array Bench_util Fmt Hashtbl Layout List Machine Measure Ops Option Propagate Shape String Tuner

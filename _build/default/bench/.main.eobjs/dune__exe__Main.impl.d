@@ -1,0 +1,1 @@
+bench/main.ml: Array Bechamel_suite Bench_util Fig1 Fig10 Fig11 Fig12 Fig13 Fig9 Fmt List String Sys Table2 Table3

@@ -1,0 +1,1 @@
+bench/table2.ml: Alt Bench_util Cache Fmt List Machine Shape

@@ -1,0 +1,1 @@
+bench/table3.ml: Alt Bench_util Fmt Machine Measure Ops Profiler Templates Tuner

@@ -1,0 +1,129 @@
+(* Bechamel micro-benchmarks: one Test per experiment family, measuring the
+   compiler substrate itself (transformation, lowering, simulation, cost
+   model, PPO) so regressions in the infrastructure are visible next to the
+   paper-style tables. *)
+
+open Alt
+module B = Bechamel
+module Test = Bechamel.Test
+module Staged = Bechamel.Staged
+
+let c2d_op () =
+  Ops.c2d ~name:"bench" ~inp:"X" ~ker:"K" ~out:"Y" ~n:1 ~i:16 ~o:32 ~h:14
+    ~w:14 ~kh:3 ~kw:3 ()
+
+let alt_choice op =
+  let tpl = Option.get (Templates.for_op op) in
+  tpl.Templates.decode [| 0.5; 0.5; 0.25; 0.5; 0.5; 0.25 |]
+
+(* Fig.1/Table 3 family: layout transformation (pack through primitives). *)
+let test_layout_pack =
+  let op = c2d_op () in
+  let choice = alt_choice op in
+  let inp_layout = List.assoc "X" choice.Propagate.in_layouts in
+  let data = Buffer.random (Layout.logical_shape inp_layout) in
+  Test.make ~name:"fig1:layout-pack (unfold C2D input)"
+    (Staged.stage (fun () -> ignore (Layout.pack inp_layout data : float array)))
+
+(* Fig.2/3 family: access rewriting + lowering through Eq. (1). *)
+let test_lowering =
+  let op = c2d_op () in
+  let choice = alt_choice op in
+  let task = Measure.make_task ~machine:Machine.intel_cpu op in
+  let rank = Shape.rank (Layout.physical_shape choice.Propagate.out_layout) in
+  let sched = Schedule.default ~rank ~nred:3 in
+  Test.make ~name:"fig2:lowering (layout-transformed C2D)"
+    (Staged.stage (fun () ->
+         ignore (Measure.program_of task choice sched : Program.t option)))
+
+(* Table 2 / Fig.9 family: one simulated on-device measurement. *)
+let test_measurement =
+  let op = c2d_op () in
+  let task = Measure.make_task ~machine:Machine.intel_cpu ~max_points:10_000 op in
+  let choice = Templates.channels_last_choice op in
+  let sched = Schedule.vectorize (Schedule.default ~rank:4 ~nred:3) in
+  Test.make ~name:"fig9:simulated measurement (C2D, 10k points)"
+    (Staged.stage (fun () ->
+         ignore (Measure.measure task choice sched : Profiler.result option)))
+
+(* Fig.10 family: layout propagation planning on a real model graph. *)
+let test_propagation =
+  let m = Zoo.mobilenet_v2 ~size:16 () in
+  let choices = Compile.trivial_choices m.Zoo.graph in
+  Test.make ~name:"fig10:propagation plan (MobileNet-V2)"
+    (Staged.stage (fun () ->
+         ignore (Propagate.plan m.Zoo.graph ~choices : Propagate.plan)))
+
+(* Fig.11 family: one PPO act+update step. *)
+let test_ppo_step =
+  let agent = Ppo.create ~seed:9 ~state_dim:8 () in
+  let state = Array.make 8 0.3 in
+  Test.make ~name:"fig11:ppo act+update (batch 8)"
+    (Staged.stage (fun () ->
+         let batch =
+           List.init 8 (fun _ ->
+               let a, s = Ppo.act agent state in
+               s.Ppo.reward <- -.Float.abs (a -. 0.5);
+               s)
+         in
+         Ppo.update ~epochs:1 agent batch))
+
+(* Fig.12/13 family: conversion-operator execution. *)
+let test_conversion =
+  let shape = [| 1; 32; 14; 14 |] in
+  let src = Layout.create shape in
+  let dst =
+    Layout.reorder
+      (Layout.split (Layout.create shape) ~dim:1 ~factors:[ 4; 8 ])
+      [| 0; 1; 3; 4; 2 |]
+  in
+  let prog = Lower.conversion ~src ~dst () in
+  let data = Buffer.random shape in
+  Test.make ~name:"fig12:conversion operator (32x14x14)"
+    (Staged.stage (fun () ->
+         let bufs =
+           [|
+             Layout.pack src data;
+             Array.make (Layout.num_physical_elements dst) 0.0;
+           |]
+         in
+         ignore (Profiler.run ~machine:Machine.intel_cpu prog ~bufs)))
+
+(* Table 3 family: GBDT cost model fit. *)
+let test_gbdt =
+  let rng = Random.State.make [| 123 |] in
+  let xs =
+    Array.init 128 (fun _ -> Array.init 24 (fun _ -> Random.State.float rng 1.0))
+  in
+  let ys = Array.map (fun x -> x.(0) +. (2.0 *. x.(3)) -. x.(7)) xs in
+  Test.make ~name:"table3:gbdt fit (128 samples)"
+    (Staged.stage (fun () -> ignore (Gbdt.fit xs ys : Gbdt.t)))
+
+let tests =
+  [
+    test_layout_pack; test_lowering; test_measurement; test_propagation;
+    test_ppo_step; test_conversion; test_gbdt;
+  ]
+
+let run () =
+  Bench_util.section "Bechamel micro-benchmarks (compiler substrate)";
+  let cfg = B.Benchmark.cfg ~limit:300 ~quota:(B.Time.second 0.5) ~kde:None () in
+  let instances = B.Toolkit.Instance.[ monotonic_clock ] in
+  let ols =
+    B.Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| B.Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = B.Benchmark.all cfg instances test in
+      let analyzed = B.Analyze.all ols B.Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_r ->
+          match B.Analyze.OLS.estimates ols_r with
+          | Some (est :: _) ->
+              Fmt.pr "  %-48s %12.1f ns/run%s@." name est
+                (match B.Analyze.OLS.r_square ols_r with
+                | Some r2 -> Fmt.str "  (r2=%.3f)" r2
+                | None -> "")
+          | _ -> Fmt.pr "  %-48s (no estimate)@." name)
+        analyzed)
+    tests

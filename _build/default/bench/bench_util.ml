@@ -1,0 +1,63 @@
+(* Shared infrastructure for the experiment harness.
+
+   Every experiment of the paper's evaluation (Figs. 1, 9-13; Tables 2-3)
+   has a module here that regenerates its rows on the machine simulator.
+   ALT_BENCH_SCALE=smoke|quick|full controls workload sizes and budgets
+   (quick is the default; the mapping to the paper's settings is recorded
+   in EXPERIMENTS.md). *)
+
+open Alt
+
+type scale = Smoke | Quick | Full
+
+let scale =
+  match Sys.getenv_opt "ALT_BENCH_SCALE" with
+  | Some "smoke" -> Smoke
+  | Some "full" -> Full
+  | Some "quick" | None -> Quick
+  | Some s -> Fmt.failwith "unknown ALT_BENCH_SCALE %S" s
+
+let scale_name =
+  match scale with Smoke -> "smoke" | Quick -> "quick" | Full -> "full"
+
+let pick ~smoke ~quick ~full =
+  match scale with Smoke -> smoke | Quick -> quick | Full -> full
+
+let section title =
+  Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '=')
+
+let geomean xs =
+  match xs with
+  | [] -> 1.0
+  | _ ->
+      Float.exp
+        (List.fold_left (fun a x -> a +. Float.log x) 0.0 xs
+        /. float_of_int (List.length xs))
+
+(* Normalized performance as in the paper's bar charts: best latency of the
+   row = 1.0, others proportionally lower. *)
+let normalize (latencies : (string * float) list) : (string * float) list =
+  let best =
+    List.fold_left (fun a (_, l) -> Float.min a l) Float.infinity latencies
+  in
+  List.map (fun (n, l) -> (n, best /. l)) latencies
+
+let pp_row ppf (label, cells) =
+  Fmt.pf ppf "%-26s %a@." label
+    Fmt.(list ~sep:(any "  ") (fun ppf (n, v) -> Fmt.pf ppf "%s=%.3f" n v))
+    cells
+
+let timer = Unix.gettimeofday
+
+let with_elapsed name f =
+  let t0 = timer () in
+  let r = f () in
+  Fmt.pr "@.[%s finished in %.1fs]@." name (timer () -. t0);
+  r
+
+(* deterministic machine list per scale *)
+let machines =
+  pick
+    ~smoke:[ Machine.intel_cpu ]
+    ~quick:[ Machine.intel_cpu; Machine.nvidia_gpu; Machine.arm_cpu ]
+    ~full:[ Machine.intel_cpu; Machine.nvidia_gpu; Machine.arm_cpu ]

@@ -1,0 +1,251 @@
+(* alt_cli — command-line front end for the ALT compiler.
+
+   Subcommands:
+     tune-op     tune a single operator with a chosen system
+     tune-model  tune and run an end-to-end model
+     show-op     print the lowered program for an operator + layout preset
+
+   Examples:
+     dune exec bin/alt_cli.exe -- tune-op --op c2d --channels 32 --out-channels 64 \
+         --spatial 28 --machine intel-cpu --system alt --budget 128
+     dune exec bin/alt_cli.exe -- tune-model --model mv2 --system ansor
+     dune exec bin/alt_cli.exe -- show-op --op gmm --spatial 64 --layout blocked *)
+
+open Alt
+open Cmdliner
+
+let setup_logs () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Info)
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let machine_arg =
+  let machines = List.map (fun m -> (m.Machine.name, m)) Machine.all in
+  Arg.(
+    value
+    & opt (enum machines) Machine.intel_cpu
+    & info [ "machine" ] ~docv:"NAME"
+        ~doc:"Machine model: intel-cpu, nvidia-gpu or arm-cpu.")
+
+let budget_arg =
+  Arg.(
+    value & opt int 128
+    & info [ "budget" ] ~docv:"N" ~doc:"Measurement budget (simulated runs).")
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let op_kind_arg =
+  Arg.(
+    value & opt string "c2d"
+    & info [ "op" ] ~docv:"KIND"
+        ~doc:"Operator: c2d, grp, dep, dil, c1d, c3d, gmm, t2d.")
+
+let batch_arg =
+  Arg.(value & opt int 1 & info [ "batch" ] ~docv:"N" ~doc:"Batch size.")
+
+let channels_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "channels" ] ~docv:"N" ~doc:"Input channels (or GMM K).")
+
+let out_channels_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "out-channels" ] ~docv:"N" ~doc:"Output channels (or GMM N).")
+
+let spatial_arg =
+  Arg.(
+    value & opt int 14
+    & info [ "spatial" ] ~docv:"N" ~doc:"Spatial size (or GMM M).")
+
+let kernel_arg =
+  Arg.(value & opt int 3 & info [ "kernel" ] ~docv:"N" ~doc:"Kernel size.")
+
+let stride_arg =
+  Arg.(value & opt int 1 & info [ "stride" ] ~docv:"N" ~doc:"Stride.")
+
+let make_op kind ~batch ~channels ~out_channels ~spatial ~kernel ~stride =
+  let n = batch and i = channels and o = out_channels in
+  let hw = spatial and k = kernel in
+  match kind with
+  | "c2d" ->
+      Ops.c2d ~name:"op" ~inp:"X" ~ker:"K" ~out:"Y" ~n ~i ~o ~h:hw ~w:hw
+        ~kh:k ~kw:k ~stride ()
+  | "dil" ->
+      Ops.dil ~name:"op" ~inp:"X" ~ker:"K" ~out:"Y" ~n ~i ~o ~h:hw ~w:hw
+        ~kh:k ~kw:k ~stride ()
+  | "grp" ->
+      Ops.grp ~name:"op" ~inp:"X" ~ker:"K" ~out:"Y" ~n ~i ~o ~h:hw ~w:hw
+        ~kh:k ~kw:k ~groups:2 ~stride ()
+  | "dep" ->
+      Ops.dep ~name:"op" ~inp:"X" ~ker:"K" ~out:"Y" ~n ~c:i ~h:hw ~w:hw ~kh:k
+        ~kw:k ~stride ()
+  | "c1d" ->
+      Ops.c1d ~name:"op" ~inp:"X" ~ker:"K" ~out:"Y" ~n ~i ~o ~w:(hw * hw)
+        ~kw:k ~stride ()
+  | "c3d" ->
+      Ops.c3d ~name:"op" ~inp:"X" ~ker:"K" ~out:"Y" ~n ~i ~o ~d:4 ~h:hw ~w:hw
+        ~kd:k ~kh:k ~kw:k ~stride ()
+  | "gmm" -> Ops.gmm ~name:"op" ~a:"A" ~b:"B" ~out:"C" ~m:hw ~k:i ~n:o ()
+  | "t2d" ->
+      Ops.t2d ~name:"op" ~inp:"X" ~ker:"K" ~out:"Y" ~n ~i ~o ~h:hw ~w:hw
+        ~kh:k ~kw:k ()
+  | k -> Fmt.failwith "unknown operator kind %S" k
+
+(* ------------------------------------------------------------------ *)
+(* tune-op                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let system_arg =
+  let all =
+    [
+      ("vendor", Tuner.Vendor); ("autotvm", Tuner.Autotvm_like);
+      ("flextensor", Tuner.Flextensor_like); ("ansor", Tuner.Ansor_like);
+      ("alt", Tuner.Alt); ("alt-ol", Tuner.Alt_ol);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum all) Tuner.Alt
+    & info [ "system" ] ~docv:"SYS"
+        ~doc:"Tuner: vendor, autotvm, flextensor, ansor, alt, alt-ol.")
+
+let tune_op_cmd =
+  let run machine budget seed kind batch channels out_channels spatial kernel
+      stride system =
+    setup_logs ();
+    let op =
+      make_op kind ~batch ~channels ~out_channels ~spatial ~kernel ~stride
+    in
+    let task = Measure.make_task ~machine op in
+    let r = Tuner.tune_op ~seed ~system ~budget task in
+    Fmt.pr "system      : %s@." (Tuner.system_name system);
+    Fmt.pr "machine     : %a@." Machine.pp machine;
+    Fmt.pr "best latency: %.5f ms (after %d measurements)@." r.Tuner.best_latency
+      r.Tuner.spent;
+    Fmt.pr "out layout  : %a@." Layout.pp r.Tuner.best_choice.Propagate.out_layout;
+    List.iter
+      (fun (n, l) -> Fmt.pr "%-4s layout : %a@." n Layout.pp l)
+      r.Tuner.best_choice.Propagate.in_layouts;
+    Fmt.pr "schedule    : %a@." Schedule.pp r.Tuner.best_schedule
+  in
+  Cmd.v (Cmd.info "tune-op" ~doc:"Tune a single operator.")
+    Term.(
+      const run $ machine_arg $ budget_arg $ seed_arg $ op_kind_arg $ batch_arg
+      $ channels_arg $ out_channels_arg $ spatial_arg $ kernel_arg $ stride_arg
+      $ system_arg)
+
+(* ------------------------------------------------------------------ *)
+(* tune-model                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let model_arg =
+  Arg.(
+    value & opt string "r18"
+    & info [ "model" ] ~docv:"NAME" ~doc:"Model: r18, mv2, bb, bt, r3d.")
+
+let gsystem_arg =
+  let all =
+    [
+      ("vendor", Graph_tuner.Gvendor); ("autotvm", Graph_tuner.Gautotvm);
+      ("ansor", Graph_tuner.Gansor); ("alt", Graph_tuner.Galt);
+      ("alt-ol", Graph_tuner.Galt_ol); ("alt-wp", Graph_tuner.Galt_wp);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum all) Graph_tuner.Galt
+    & info [ "system" ] ~docv:"SYS"
+        ~doc:"System: vendor, autotvm, ansor, alt, alt-ol, alt-wp.")
+
+let tune_model_cmd =
+  let run machine budget seed model batch system =
+    setup_logs ();
+    let spec =
+      match model with
+      | "r18" -> Zoo.resnet18 ~batch ()
+      | "mv2" -> Zoo.mobilenet_v2 ~batch ()
+      | "bb" -> Zoo.bert_base ~batch ()
+      | "bt" -> Zoo.bert_tiny ~batch ()
+      | "r3d" -> Zoo.resnet3d_18 ~batch ()
+      | m -> Fmt.failwith "unknown model %S" m
+    in
+    Fmt.pr "tuning %s with %s on %a (budget %d)...@." spec.Zoo.name
+      (Graph_tuner.gsystem_name system)
+      Machine.pp machine budget;
+    let tg =
+      Graph_tuner.tune_graph ~seed ~system ~machine ~budget spec.Zoo.graph
+    in
+    let r = Graph_tuner.run tg ~machine in
+    Fmt.pr "end-to-end latency: %.4f ms@." r.Compile.latency_ms;
+    Fmt.pr "unique tuning tasks: %d, measurements: %d@."
+      tg.Graph_tuner.tasks_tuned tg.Graph_tuner.measurements;
+    Fmt.pr "plan: %d conversions, %d fused elementwise ops@."
+      tg.Graph_tuner.compiled.Compile.plan.Propagate.conversions
+      tg.Graph_tuner.compiled.Compile.plan.Propagate.fused_ops
+  in
+  Cmd.v (Cmd.info "tune-model" ~doc:"Tune and run an end-to-end model.")
+    Term.(
+      const run $ machine_arg $ budget_arg $ seed_arg $ model_arg $ batch_arg
+      $ gsystem_arg)
+
+(* ------------------------------------------------------------------ *)
+(* show-op                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let layout_preset_arg =
+  Arg.(
+    value & opt string "alt"
+    & info [ "layout" ] ~docv:"PRESET"
+        ~doc:"Layout preset: default, channels-last, blocked, alt.")
+
+let show_op_cmd =
+  let run machine kind batch channels out_channels spatial kernel stride preset
+      =
+    setup_logs ();
+    let op =
+      make_op kind ~batch ~channels ~out_channels ~spatial ~kernel ~stride
+    in
+    let choice =
+      match preset with
+      | "default" -> Templates.trivial_choice op
+      | "channels-last" -> Templates.channels_last_choice op
+      | "blocked" -> Templates.blocked_choice op ~block:(2 * machine.Machine.lanes)
+      | "alt" -> (
+          match Templates.for_op op with
+          | Some tpl ->
+              tpl.Templates.decode
+                (Array.make (Array.length tpl.Templates.knobs) 0.4)
+          | None -> Templates.trivial_choice op)
+      | p -> Fmt.failwith "unknown preset %S" p
+    in
+    let task = Measure.make_task ~machine op in
+    let rank = Shape.rank (Layout.physical_shape choice.Propagate.out_layout) in
+    let sched =
+      Schedule.vectorize
+        (Schedule.default ~rank ~nred:(List.length op.Opdef.reduce))
+    in
+    match Measure.program_of task choice sched with
+    | None -> Fmt.epr "this layout/schedule combination does not lower@."
+    | Some prog ->
+        Fmt.pr "%a@." Program.pp prog;
+        (match Measure.measure task choice sched with
+        | Some r -> Fmt.pr "profile: %a@." Profiler.pp_result r
+        | None -> ())
+  in
+  Cmd.v (Cmd.info "show-op" ~doc:"Print the lowered program for an operator.")
+    Term.(
+      const run $ machine_arg $ op_kind_arg $ batch_arg $ channels_arg
+      $ out_channels_arg $ spatial_arg $ kernel_arg $ stride_arg
+      $ layout_preset_arg)
+
+let () =
+  let info =
+    Cmd.info "alt" ~version:Alt.version
+      ~doc:"ALT: joint data layout and loop auto-tuning (EuroSys'23 reproduction)."
+  in
+  exit (Cmd.eval (Cmd.group info [ tune_op_cmd; tune_model_cmd; show_op_cmd ]))

@@ -1,0 +1,1 @@
+examples/bert_attention.ml: Alt Array Buffer Compile Fmt Graph Graph_tuner Layout List Machine Propagate Tuner Zoo

@@ -1,0 +1,1 @@
+examples/bert_attention.mli:

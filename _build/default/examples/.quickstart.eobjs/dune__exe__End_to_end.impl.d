@@ -1,0 +1,1 @@
+examples/end_to_end.ml: Alt Compile Float Fmt Graph Graph_tuner List Machine Profiler Propagate Zoo

@@ -1,0 +1,1 @@
+examples/overlapped_tiling.ml: Alt Buffer Fmt Layout List Machine Measure Opdef Ops Option Profiler Program Propagate Runtime Schedule Shape Templates

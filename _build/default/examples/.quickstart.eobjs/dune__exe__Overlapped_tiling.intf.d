@@ -1,0 +1,1 @@
+examples/overlapped_tiling.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Alt Buffer Fmt Layout List Machine Measure Opdef Ops Option Profiler Propagate Runtime Schedule Tuner

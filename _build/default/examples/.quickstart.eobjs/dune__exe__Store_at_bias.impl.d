@@ -1,0 +1,1 @@
+examples/store_at_bias.ml: Alt Buffer Fmt Ixexpr Layout List Lower Machine Opdef Ops Placement Profiler Runtime Schedule Sexpr Var

@@ -1,0 +1,1 @@
+examples/store_at_bias.mli:

@@ -1,0 +1,99 @@
+(* The store_at advanced primitive (paper Section 4.1.2): attach each
+   element of a bias vector to the corresponding column of a GMM weight
+   matrix so the inner product and the bias addition share cache lines.
+
+   Run with:  dune exec examples/store_at_bias.exe
+
+   Builds a fully connected layer out = A @ W + bias twice: once with the
+   bias as a separate tensor, once with the bias fused into the weight
+   buffer via [Placement.store_at]; verifies both against the reference
+   and compares the profiles. *)
+
+open Alt
+
+let m, k, n = (64, 256, 64)
+
+let fc_op ~weights_name =
+  let vm = Var.fresh "m" and vn = Var.fresh "n" in
+  let rk = Var.fresh "k" in
+  let body =
+    Sexpr.(
+      load "A" [| Ixexpr.var vm; Ixexpr.var rk |]
+      *. load weights_name [| Ixexpr.var rk; Ixexpr.var vn |])
+  in
+  Opdef.make ~name:"fc"
+    ~inputs:[ ("A", [| m; k |]); (weights_name, [| k; n |]) ]
+    ~out_name:"Y" ~out_shape:[| m; n |]
+    ~spatial:[| vm; vn |]
+    ~reduce:[ (rk, k) ]
+    ~combiner:Opdef.Sum ~init:0.0 ~body
+    ~kind:(Opdef.Matmul { a = "A"; b = weights_name; batched = false })
+    ~complex:true ()
+
+let () =
+  Fmt.pr "=== store_at: fusing a bias vector into the weight matrix ===@.@.";
+  let machine = Machine.intel_cpu in
+  let a_data = Buffer.random ~seed:1 [| m; k |] in
+  let w_data = Buffer.random ~seed:2 [| k; n |] in
+  let b_data = Buffer.random ~seed:3 [| n |] in
+
+  (* ---- baseline: gmm + separate bias_add ---- *)
+  let gmm = fc_op ~weights_name:"W" in
+  let bias =
+    Ops.bias_add ~name:"bias" ~inp:"Y" ~bias:"B" ~out:"Yb" ~shape:[| m; n |]
+      ~dim:1 ()
+  in
+  let sched = Schedule.vectorize (Schedule.default ~rank:2 ~nred:1) in
+  let prog_sep =
+    Lower.lower ~op:gmm
+      ~layouts:(fun name ->
+        Layout.create (if name = "A" then [| m; k |] else if name = "W" then [| k; n |] else [| n |]))
+      ~out_layout:(Layout.create [| m; n |])
+      ~fused:[ { Lower.fop = bias; fout_layout = Layout.create [| m; n |] } ]
+      ~schedule:sched ()
+  in
+  let outs, r_sep =
+    Runtime.run_logical ~machine prog_sep
+      ~inputs:[ ("A", a_data); ("W", w_data); ("B", b_data) ]
+  in
+  let reference = List.assoc "Yb" outs in
+  Fmt.pr "separate bias : %a@." Profiler.pp_result r_sep;
+
+  (* ---- store_at: combined (K+1) x N buffer ---- *)
+  let placement =
+    { Placement.host = "W"; guest = "B"; dim = 0; combined = "WB" }
+  in
+  (* rewrite BOTH the gmm and the bias consumer to read the combined buffer *)
+  let gmm' = Placement.apply ~host_shape:[| k; n |] gmm placement in
+  let bias' = Placement.apply ~host_shape:[| k; n |] bias placement in
+  let combined =
+    Placement.pack_combined ~host_shape:[| k; n |] placement ~host:w_data
+      ~guest:b_data
+  in
+  let prog_fused =
+    Lower.lower ~op:gmm'
+      ~layouts:(fun name ->
+        Layout.create (if name = "A" then [| m; k |] else [| k + 1; n |]))
+      ~out_layout:(Layout.create [| m; n |])
+      ~fused:[ { Lower.fop = bias'; fout_layout = Layout.create [| m; n |] } ]
+      ~schedule:sched ()
+  in
+  let outs', r_fused =
+    Runtime.run_logical ~machine prog_fused
+      ~inputs:[ ("A", a_data); ("WB", combined) ]
+  in
+  let fused_out = List.assoc "Yb" outs' in
+  Fmt.pr "store_at bias : %a@." Profiler.pp_result r_fused;
+  Fmt.pr "@.results agree: max |diff| = %.2e@."
+    (Buffer.max_abs_diff reference fused_out);
+  Fmt.pr "buffers: 3 tensors -> 2 tensors; bias rides in the weight lines@.";
+  Fmt.pr "L1 misses: separate=%.0f  fused=%.0f@." r_sep.Profiler.l1_misses
+    r_fused.Profiler.l1_misses;
+  (* and the inverse primitive (decouple_at) recovers the original parts *)
+  let w_back, b_back =
+    Placement.unpack_combined ~host_shape:[| k; n |] placement combined
+  in
+  Fmt.pr "decouple_at roundtrip: %s@."
+    (if Buffer.allclose w_back w_data && Buffer.allclose b_back b_data then
+       "OK"
+     else "MISMATCH")

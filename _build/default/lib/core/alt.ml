@@ -1,0 +1,76 @@
+(* ALT — joint data-layout and loop auto-tuning for deep learning
+   compilation (reproduction of Xu et al., EuroSys 2023).
+
+   This module is the public facade: it re-exports the stable API of every
+   subsystem and provides the two entry points most users need —
+   [tune_operator] for a single tensor operator and [compile_model] for an
+   end-to-end computational graph. *)
+
+(* --- substrate: tensors, layouts, symbolic indices --- *)
+module Var = Alt_tensor.Var
+module Shape = Alt_tensor.Shape
+module Ixexpr = Alt_tensor.Ixexpr
+module Layout = Alt_tensor.Layout
+module Buffer = Alt_tensor.Buffer
+
+(* --- operator IR and lowering --- *)
+module Sexpr = Alt_ir.Sexpr
+module Opdef = Alt_ir.Opdef
+module Schedule = Alt_ir.Schedule
+module Program = Alt_ir.Program
+module Lower = Alt_ir.Lower
+
+(* --- graphs, propagation, compilation --- *)
+module Ops = Alt_graph.Ops
+module Graph = Alt_graph.Graph
+module Propagate = Alt_graph.Propagate
+module Placement = Alt_graph.Placement
+module Compile = Alt_graph.Compile
+
+(* --- machine models and profiling --- *)
+module Machine = Alt_machine.Machine
+module Cache = Alt_machine.Cache
+module Profiler = Alt_machine.Profiler
+module Runtime = Alt_machine.Runtime
+
+(* --- learning components --- *)
+module Features = Alt_costmodel.Features
+module Gbdt = Alt_costmodel.Gbdt
+module Mlp = Alt_rl.Mlp
+module Ppo = Alt_rl.Ppo
+
+(* --- auto-tuning --- *)
+module Templates = Alt_tuner.Templates
+module Loopspace = Alt_tuner.Loopspace
+module Measure = Alt_tuner.Measure
+module Tuner = Alt_tuner.Tuner
+module Graph_tuner = Alt_tuner.Graph_tuner
+
+(* --- model zoo --- *)
+module Zoo = Alt_models.Zoo
+
+(** Jointly tune layouts and loops of a single operator with ALT's
+    two-stage tuner.  [budget] counts simulated on-device measurements;
+    30% goes to the joint stage and 70% to the loop-only stage, as in the
+    paper's single-operator setup. *)
+let tune_operator ?(machine = Machine.intel_cpu) ?(budget = 200)
+    ?(max_points = 40_000) ?seed ?levels (op : Opdef.t) : Tuner.result =
+  let task = Measure.make_task ~machine ~max_points op in
+  Tuner.tune_alt ?seed ?levels
+    ~joint_budget:(budget * 3 / 10)
+    ~loop_budget:(budget * 7 / 10)
+    task
+
+(** Tune and compile an end-to-end model. *)
+let compile_model ?(system = Graph_tuner.Galt) ?(machine = Machine.intel_cpu)
+    ?(budget = 400) ?max_points ?seed ?levels (g : Graph.t) :
+    Graph_tuner.tuned_graph =
+  Graph_tuner.tune_graph ?seed ?levels ?max_points ~system ~machine ~budget g
+
+(** Execute a tuned model on its machine model and report the simulated
+    end-to-end latency. *)
+let run_model ?max_points (tg : Graph_tuner.tuned_graph)
+    ~(machine : Machine.t) : Compile.exec_result =
+  Graph_tuner.run ?max_points tg ~machine
+
+let version = "0.1.0"

@@ -1,0 +1,1 @@
+lib/costmodel/features.ml: Alt_ir Alt_machine Alt_tensor Array Float List

@@ -1,0 +1,1 @@
+lib/costmodel/features.mli: Alt_ir Alt_machine

@@ -1,0 +1,1 @@
+lib/costmodel/gbdt.ml: Array Float List

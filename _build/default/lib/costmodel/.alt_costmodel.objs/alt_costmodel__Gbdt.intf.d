@@ -1,0 +1,1 @@
+lib/costmodel/gbdt.mli:

@@ -1,0 +1,11 @@
+(** Static program features for the learned cost model: loop structure,
+    access contiguity, cache-relative footprints, vectorization and
+    parallelism — computable without running the program. *)
+
+module Program = Alt_ir.Program
+module Machine = Alt_machine.Machine
+
+val dim : int
+(** Feature vector length. *)
+
+val extract : Machine.t -> Program.t -> float array

@@ -1,0 +1,142 @@
+(* Gradient-boosted regression trees — the XGBoost stand-in of the paper's
+   cost model (Section 5.2.3).
+
+   Squared-error boosting over depth-limited regression trees with
+   shrinkage.  The tuner trains on (features, log-latency) pairs collected
+   from simulator measurements and uses predictions to pick the top-k
+   candidates to actually measure. *)
+
+type tree =
+  | Leaf of float
+  | Node of { feat : int; thresh : float; left : tree; right : tree }
+
+type t = {
+  base : float;
+  trees : tree list;
+  shrinkage : float;
+}
+
+type params = {
+  max_depth : int;
+  min_samples : int;
+  n_trees : int;
+  learning_rate : float;
+}
+
+let default_params =
+  { max_depth = 4; min_samples = 4; n_trees = 40; learning_rate = 0.3 }
+
+let rec predict_tree tree (x : float array) =
+  match tree with
+  | Leaf v -> v
+  | Node { feat; thresh; left; right } ->
+      if x.(feat) <= thresh then predict_tree left x else predict_tree right x
+
+let predict t x =
+  List.fold_left
+    (fun acc tree -> acc +. (t.shrinkage *. predict_tree tree x))
+    t.base t.trees
+
+let mean a idx =
+  if Array.length idx = 0 then 0.0
+  else
+    Array.fold_left (fun s i -> s +. a.(i)) 0.0 idx
+    /. float_of_int (Array.length idx)
+
+let sse a idx =
+  let m = mean a idx in
+  Array.fold_left (fun s i -> s +. ((a.(i) -. m) ** 2.0)) 0.0 idx
+
+(* Best (feature, threshold) split of [idx] minimizing children SSE. *)
+let best_split (xs : float array array) (ys : float array) (idx : int array)
+    ~min_samples =
+  let nfeat = Array.length xs.(0) in
+  let best = ref None in
+  let parent_sse = sse ys idx in
+  for f = 0 to nfeat - 1 do
+    let sorted = Array.copy idx in
+    Array.sort (fun a b -> Float.compare xs.(a).(f) xs.(b).(f)) sorted;
+    let n = Array.length sorted in
+    (* prefix sums for O(n) split evaluation *)
+    let psum = Array.make (n + 1) 0.0 and psq = Array.make (n + 1) 0.0 in
+    for i = 0 to n - 1 do
+      psum.(i + 1) <- psum.(i) +. ys.(sorted.(i));
+      psq.(i + 1) <- psq.(i) +. (ys.(sorted.(i)) ** 2.0)
+    done;
+    for i = min_samples to n - min_samples do
+      if xs.(sorted.(i - 1)).(f) < xs.(sorted.(i)).(f) then begin
+        let ln = float_of_int i and rn = float_of_int (n - i) in
+        let lsum = psum.(i) and rsum = psum.(n) -. psum.(i) in
+        let lsq = psq.(i) and rsq = psq.(n) -. psq.(i) in
+        let lsse = lsq -. (lsum *. lsum /. ln) in
+        let rsse = rsq -. (rsum *. rsum /. rn) in
+        let gain = parent_sse -. (lsse +. rsse) in
+        let thresh = (xs.(sorted.(i - 1)).(f) +. xs.(sorted.(i)).(f)) /. 2.0 in
+        match !best with
+        | Some (g, _, _, _) when g >= gain -> ()
+        | _ ->
+            let li = Array.sub sorted 0 i and ri = Array.sub sorted i (n - i) in
+            best := Some (gain, f, thresh, (li, ri))
+      end
+    done
+  done;
+  !best
+
+let rec fit_tree xs ys idx ~depth ~params =
+  if
+    depth >= params.max_depth
+    || Array.length idx < 2 * params.min_samples
+    || sse ys idx < 1e-10
+  then Leaf (mean ys idx)
+  else
+    match best_split xs ys idx ~min_samples:params.min_samples with
+    | None | Some (_, _, _, ([||], _)) | Some (_, _, _, (_, [||])) ->
+        Leaf (mean ys idx)
+    | Some (gain, feat, thresh, (li, ri)) ->
+        if gain <= 1e-12 then Leaf (mean ys idx)
+        else
+          Node
+            {
+              feat;
+              thresh;
+              left = fit_tree xs ys li ~depth:(depth + 1) ~params;
+              right = fit_tree xs ys ri ~depth:(depth + 1) ~params;
+            }
+
+let fit ?(params = default_params) (xs : float array array) (ys : float array)
+    : t =
+  if Array.length xs = 0 then
+    { base = 0.0; trees = []; shrinkage = params.learning_rate }
+  else begin
+    let n = Array.length xs in
+    let base = mean ys (Array.init n (fun i -> i)) in
+    let residual = Array.map (fun y -> y -. base) ys in
+    let trees = ref [] in
+    let idx = Array.init n (fun i -> i) in
+    for _ = 1 to params.n_trees do
+      let tree = fit_tree xs residual idx ~depth:0 ~params in
+      trees := tree :: !trees;
+      Array.iteri
+        (fun i _ ->
+          residual.(i) <-
+            residual.(i) -. (params.learning_rate *. predict_tree tree xs.(i)))
+        residual
+    done;
+    { base; trees = List.rev !trees; shrinkage = params.learning_rate }
+  end
+
+(* Coefficient of determination on a held-out set — used in tests. *)
+let r2 t xs ys =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let preds = Array.map (predict t) xs in
+    let ym = Array.fold_left ( +. ) 0.0 ys /. float_of_int n in
+    let ss_res = ref 0.0 and ss_tot = ref 0.0 in
+    Array.iteri
+      (fun i y ->
+        ss_res := !ss_res +. ((y -. preds.(i)) ** 2.0);
+        ss_tot := !ss_tot +. ((y -. ym) ** 2.0))
+      ys;
+    1.0 -. (!ss_res /. Float.max 1e-12 !ss_tot)
+  end

@@ -1,0 +1,21 @@
+(** Gradient-boosted regression trees — the XGBoost stand-in for the
+    paper's learned cost model (Section 5.2.3). *)
+
+type t
+
+type params = {
+  max_depth : int;
+  min_samples : int;
+  n_trees : int;
+  learning_rate : float;
+}
+
+val default_params : params
+
+val fit : ?params:params -> float array array -> float array -> t
+(** Squared-error boosting of depth-limited trees with shrinkage. *)
+
+val predict : t -> float array -> float
+
+val r2 : t -> float array array -> float array -> float
+(** Coefficient of determination on a held-out set. *)

@@ -1,0 +1,1 @@
+lib/graph/compile.ml: Alt_ir Alt_machine Alt_tensor Array Fmt Graph Hashtbl List Propagate

@@ -1,0 +1,1 @@
+lib/graph/compile.mli: Alt_ir Alt_machine Alt_tensor Graph Propagate

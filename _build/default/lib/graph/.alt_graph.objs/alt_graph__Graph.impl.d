@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Alt_ir Alt_tensor Array Fmt Hashtbl List Seq

@@ -1,0 +1,1 @@
+lib/graph/graph.mli: Alt_ir Alt_tensor Fmt

@@ -1,0 +1,1 @@
+lib/graph/ops.ml: Alt_ir Alt_tensor Array Float Option

@@ -1,0 +1,1 @@
+lib/graph/ops.mli: Alt_ir Alt_tensor

@@ -1,0 +1,1 @@
+lib/graph/placement.ml: Alt_ir Alt_tensor Array Fmt List

@@ -1,0 +1,1 @@
+lib/graph/placement.mli: Alt_ir Alt_tensor

@@ -1,0 +1,1 @@
+lib/graph/propagate.ml: Alt_ir Alt_tensor Array Fmt Graph Hashtbl List

@@ -1,0 +1,1 @@
+lib/graph/propagate.mli: Alt_tensor Fmt Graph

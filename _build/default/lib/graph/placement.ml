@@ -1,0 +1,137 @@
+(* store_at / decouple_at: inter-tensor placement (paper Section 4.1.2).
+
+   [store_at] fuses two tensors into one buffer so that related elements
+   share cache lines — the paper's example attaches each element of a bias
+   vector to the corresponding column of a weight matrix, letting the inner
+   product and the bias addition touch the same line.
+
+   Realization: the host tensor's logical dim [dim] is extended by one; the
+   guest occupies the extra hyperplane.  The operator is rewritten so reads
+   of the host keep their indices and reads of the guest index the extra
+   hyperplane; the combined tensor can then be given any layout through the
+   ordinary primitives.  [decouple_at] is the inverse: simply stop fusing
+   (the combined tensor splits back into its parts). *)
+
+module Shape = Alt_tensor.Shape
+module Ixexpr = Alt_tensor.Ixexpr
+module Opdef = Alt_ir.Opdef
+module Sexpr = Alt_ir.Sexpr
+
+type t = {
+  host : string;
+  guest : string;
+  dim : int; (* host dim that grows by one *)
+  combined : string;
+}
+
+let combined_shape (host_shape : Shape.t) (p : t) : Shape.t =
+  let s = Array.copy host_shape in
+  s.(p.dim) <- s.(p.dim) + 1;
+  s
+
+(* Guest must have the host's shape minus dimension [dim]. *)
+let validate ~(host_shape : Shape.t) (op : Opdef.t) (p : t) =
+  match List.assoc_opt p.guest op.Opdef.inputs with
+  | None -> ()
+  | Some gs ->
+      let expect =
+        Array.of_list
+          (List.filteri (fun i _ -> i <> p.dim) (Array.to_list host_shape))
+      in
+      if not (Shape.equal gs expect) then
+        invalid_arg
+          (Fmt.str "Placement.store_at: guest %s shape %a incompatible with \
+                    host %s %a at dim %d"
+             p.guest Shape.pp gs p.host Shape.pp host_shape p.dim)
+
+(* Rewrite an operator to read the combined tensor wherever it reads the
+   host or the guest.  [host_shape] must be supplied because an operator
+   may read only the guest (e.g. the bias-add consumer). *)
+let apply ~(host_shape : Shape.t) (op : Opdef.t) (p : t) : Opdef.t =
+  if
+    (not (List.mem_assoc p.host op.Opdef.inputs))
+    && not (List.mem_assoc p.guest op.Opdef.inputs)
+  then
+    invalid_arg
+      (Fmt.str "Placement.apply: op %s reads neither %s nor %s" op.Opdef.name
+         p.host p.guest);
+  validate ~host_shape op p;
+  let hs = host_shape in
+  let host_extent = hs.(p.dim) in
+  let body =
+    Sexpr.map_loads
+      (fun name idx ->
+        if name = p.host then Sexpr.Load (p.combined, idx)
+        else if name = p.guest then begin
+          (* insert the extra coordinate at [dim] *)
+          let n = Array.length idx in
+          let idx' = Array.make (n + 1) (Ixexpr.const host_extent) in
+          let j = ref 0 in
+          for i = 0 to n do
+            if i <> p.dim then begin
+              idx'.(i) <- idx.(!j);
+              incr j
+            end
+          done;
+          Sexpr.Load (p.combined, idx')
+        end
+        else Sexpr.Load (name, idx))
+      op.Opdef.body
+  in
+  let inputs =
+    List.filter (fun (n, _) -> n <> p.host && n <> p.guest) op.Opdef.inputs
+    @ [ (p.combined, combined_shape hs p) ]
+  in
+  Opdef.make ~name:op.Opdef.name ~inputs ~out_name:op.Opdef.out_name
+    ~out_shape:op.Opdef.out_shape ~spatial:op.Opdef.spatial
+    ~reduce:op.Opdef.reduce ~combiner:op.Opdef.combiner ~init:op.Opdef.init
+    ~body ~window:op.Opdef.window ~complex:op.Opdef.complex
+    ~kind:op.Opdef.kind ()
+
+(* Build the combined tensor's logical data from its parts. *)
+let pack_combined ~(host_shape : Shape.t) (p : t) ~(host : float array)
+    ~(guest : float array) : float array =
+  let cs = combined_shape host_shape p in
+  let out = Array.make (Shape.num_elements cs) 0.0 in
+  let gs =
+    Array.of_list
+      (List.filteri (fun i _ -> i <> p.dim) (Array.to_list host_shape))
+  in
+  for off = 0 to Array.length out - 1 do
+    let idx = Shape.index_of_offset cs off in
+    if idx.(p.dim) < host_shape.(p.dim) then
+      out.(off) <- host.(Shape.offset_of_index host_shape idx)
+    else begin
+      let gidx =
+        Array.of_list
+          (List.filteri (fun i _ -> i <> p.dim) (Array.to_list idx))
+      in
+      out.(off) <- guest.(Shape.offset_of_index gs gidx)
+    end
+  done;
+  out
+
+(* Inverse (decouple_at): split the combined logical data back. *)
+let unpack_combined ~(host_shape : Shape.t) (p : t)
+    (combined : float array) : float array * float array =
+  let cs = combined_shape host_shape p in
+  if Array.length combined <> Shape.num_elements cs then
+    invalid_arg "Placement.unpack_combined: size";
+  let gs =
+    Array.of_list
+      (List.filteri (fun i _ -> i <> p.dim) (Array.to_list host_shape))
+  in
+  let host = Array.make (Shape.num_elements host_shape) 0.0 in
+  let guest = Array.make (Shape.num_elements gs) 0.0 in
+  for off = 0 to Array.length combined - 1 do
+    let idx = Shape.index_of_offset cs off in
+    if idx.(p.dim) < host_shape.(p.dim) then
+      host.(Shape.offset_of_index host_shape idx) <- combined.(off)
+    else
+      let gidx =
+        Array.of_list
+          (List.filteri (fun i _ -> i <> p.dim) (Array.to_list idx))
+      in
+      guest.(Shape.offset_of_index gs gidx) <- combined.(off)
+  done;
+  (host, guest)

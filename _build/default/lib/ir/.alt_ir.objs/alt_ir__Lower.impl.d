@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Alt_tensor Array Fmt Hashtbl List Opdef Option Program Schedule Sexpr

@@ -1,0 +1,1 @@
+lib/ir/opdef.ml: Alt_tensor Array Float Fmt Hashtbl List Sexpr

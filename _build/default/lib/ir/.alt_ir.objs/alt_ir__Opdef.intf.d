@@ -1,0 +1,1 @@
+lib/ir/opdef.mli: Alt_tensor Fmt Sexpr

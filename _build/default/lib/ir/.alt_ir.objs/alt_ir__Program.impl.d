@@ -1,0 +1,1 @@
+lib/ir/program.ml: Alt_tensor Array Fmt List Sexpr String

@@ -1,0 +1,1 @@
+lib/ir/schedule.ml: Alt_tensor Array Fmt

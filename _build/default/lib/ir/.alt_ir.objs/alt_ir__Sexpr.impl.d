@@ -1,0 +1,1 @@
+lib/ir/sexpr.ml: Alt_tensor Array Float Fmt

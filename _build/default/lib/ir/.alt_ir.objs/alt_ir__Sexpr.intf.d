@@ -1,0 +1,1 @@
+lib/ir/sexpr.mli: Alt_tensor Fmt

@@ -1,0 +1,480 @@
+(* Lowering: operator definition + layouts + loop schedule -> program.
+
+   This is the compilation pass described in Section 6 of the paper.  The
+   loop nest of an operator mirrors its *output physical layout* one-to-one:
+   given output layout S_Y, the spatial loops L' iterate over the physical
+   dimensions, the logical output coordinates are recovered as S_Y^{-1}(L'),
+   and every access to a tensor X with layout S_X is rewritten to
+   S_X(S_Y^{-1}(L')).  Sliding-window accesses into unfolded tensors are
+   rewritten with Eq. (1) *before* the inverse substitution, and the
+   range-aware simplifier collapses the resulting div/mod chains.
+
+   Elementwise consumers can be fused into the producer's loop nest when
+   their output layout carries the same primitive sequence — the
+   fusion-legality rule of Section 4.2; [Lower_error] is raised otherwise,
+   which the graph layer uses to detect fusion conflicts. *)
+
+module Shape = Alt_tensor.Shape
+module Var = Alt_tensor.Var
+module Ixexpr = Alt_tensor.Ixexpr
+module Layout = Alt_tensor.Layout
+
+exception Lower_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Lower_error s)) fmt
+
+type fused = { fop : Opdef.t; fout_layout : Layout.t }
+
+(* ------------------------------------------------------------------ *)
+(* pexpr helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec pexpr_of_sexpr ~(load : string -> Ixexpr.t array -> Program.access) =
+  function
+  | Sexpr.Load (n, idx) -> Program.Pload (load n idx)
+  | Sexpr.Fconst f -> Program.Pconst f
+  | Sexpr.Bin (op, a, b) ->
+      Program.Pbin (op, pexpr_of_sexpr ~load a, pexpr_of_sexpr ~load b)
+  | Sexpr.Un (op, a) -> Program.Pun (op, pexpr_of_sexpr ~load a)
+  | Sexpr.Select (c, a, b) ->
+      Program.Pselect (c, pexpr_of_sexpr ~load a, pexpr_of_sexpr ~load b)
+
+let rec map_pexpr_ix f = function
+  | Program.Pload a ->
+      Program.Pload { a with idx = Array.map f a.idx }
+  | Program.Pconst _ as e -> e
+  | Program.Pbin (op, a, b) ->
+      Program.Pbin (op, map_pexpr_ix f a, map_pexpr_ix f b)
+  | Program.Pun (op, a) -> Program.Pun (op, map_pexpr_ix f a)
+  | Program.Pselect (c, a, b) ->
+      Program.Pselect (Sexpr.map_cond_ix f c, map_pexpr_ix f a, map_pexpr_ix f b)
+
+(* ------------------------------------------------------------------ *)
+(* Loop structure                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type dim_loops = {
+  outer : Program.loop option;
+  inner : Program.loop option;
+  expr : Ixexpr.t; (* the physical coordinate in terms of loop vars *)
+}
+
+let nest_loops loops body =
+  List.fold_right (fun l s -> Program.For (l, s)) loops body
+
+let lower ~(op : Opdef.t) ~(layouts : string -> Layout.t)
+    ~(out_layout : Layout.t) ?(fused = []) ~(schedule : Schedule.t) () :
+    Program.t =
+  if not (Shape.equal (Layout.logical_shape out_layout) op.out_shape) then
+    err "lower %s: output layout logical shape mismatch" op.name;
+  if not (Layout.invertible out_layout) then
+    err "lower %s: output layout must be invertible (no unfold/pad)" op.name;
+  List.iter
+    (fun f ->
+      if f.fop.Opdef.combiner <> Opdef.Assign then
+        err "lower %s: fused consumer %s is not elementwise" op.name
+          f.fop.Opdef.name;
+      if not (Shape.equal f.fop.Opdef.out_shape op.out_shape) then
+        err "lower %s: fused consumer %s shape mismatch" op.name
+          f.fop.Opdef.name;
+      if Layout.prims f.fout_layout <> Layout.prims out_layout then
+        err
+          "lower %s: fusion conflict — consumer %s output layout differs \
+           from producer"
+          op.name f.fop.Opdef.name)
+    fused;
+
+  let phys = Layout.physical_shape out_layout in
+  let rank = Shape.rank phys in
+  let reduce = Array.of_list op.reduce in
+  let schedule =
+    Schedule.legalize schedule ~phys ~reduce_extents:(Array.map snd reduce)
+  in
+
+  (* Bounds of every variable in play (logical iterators + loop vars). *)
+  let btbl : (int, int * int) Hashtbl.t = Hashtbl.create 32 in
+  let bounds v = Hashtbl.find_opt btbl (Var.id v) in
+  let bind v lo hi = Hashtbl.replace btbl (Var.id v) (lo, hi) in
+  Array.iteri (fun i v -> bind v 0 (op.out_shape.(i) - 1)) op.spatial;
+  Array.iter (fun (v, e) -> bind v 0 (e - 1)) reduce;
+  List.iter
+    (fun f -> Array.iteri (fun i v -> bind v 0 (f.fop.Opdef.out_shape.(i) - 1)) f.fop.Opdef.spatial)
+    fused;
+
+  (* Spatial loop variables per physical dimension. *)
+  let mk_loop tag extent kind =
+    let v = Var.fresh tag in
+    bind v 0 (extent - 1);
+    { Program.v; extent; kind }
+  in
+  let dims =
+    Array.init rank (fun d ->
+        let e = phys.(d) in
+        let f = schedule.sp_tiles.(d) in
+        if f <= 1 || e = 1 then
+          let l = mk_loop (Fmt.str "s%d" d) e Program.Serial in
+          { outer = Some l; inner = None; expr = Ixexpr.var l.Program.v }
+        else if f >= e then
+          let l = mk_loop (Fmt.str "s%di" d) e Program.Serial in
+          { outer = None; inner = Some l; expr = Ixexpr.var l.Program.v }
+        else
+          let o = mk_loop (Fmt.str "s%do" d) (e / f) Program.Serial in
+          let i = mk_loop (Fmt.str "s%di" d) f Program.Serial in
+          {
+            outer = Some o;
+            inner = Some i;
+            expr =
+              Ixexpr.add
+                (Ixexpr.mul (Ixexpr.var o.Program.v) (Ixexpr.const f))
+                (Ixexpr.var i.Program.v);
+          })
+  in
+  let d_exprs = Array.map (fun d -> d.expr) dims in
+
+  (* Reduction loop variables. *)
+  let r_subst = Hashtbl.create 8 in
+  let ro_loops = ref [] and ri_loops = ref [] in
+  Array.iteri
+    (fun j (rv, e) ->
+      let f = schedule.r_tiles.(j) in
+      if f <= 1 || e = 1 then begin
+        let l = mk_loop (Fmt.str "r%d" j) e Program.Serial in
+        ro_loops := l :: !ro_loops;
+        Hashtbl.replace r_subst (Var.id rv) (Ixexpr.var l.Program.v)
+      end
+      else if f >= e then begin
+        let l = mk_loop (Fmt.str "r%di" j) e Program.Serial in
+        ri_loops := l :: !ri_loops;
+        Hashtbl.replace r_subst (Var.id rv) (Ixexpr.var l.Program.v)
+      end
+      else begin
+        let o = mk_loop (Fmt.str "r%do" j) (e / f) Program.Serial in
+        let i = mk_loop (Fmt.str "r%di" j) f Program.Serial in
+        ro_loops := o :: !ro_loops;
+        ri_loops := i :: !ri_loops;
+        Hashtbl.replace r_subst (Var.id rv)
+          (Ixexpr.add
+             (Ixexpr.mul (Ixexpr.var o.Program.v) (Ixexpr.const f))
+             (Ixexpr.var i.Program.v))
+      end)
+    reduce;
+  let reduce_loops = List.rev !ro_loops @ List.rev !ri_loops in
+
+  (* Logical output coordinates in terms of loop variables: S_Y^{-1}(L'). *)
+  let logical = Layout.inverse_exprs ~bounds out_layout d_exprs in
+
+  (* Variable substitution: producer/consumer spatial vars -> logical
+     coordinates; reduction vars -> their loop expressions. *)
+  let subst_tbl = Hashtbl.create 32 in
+  Array.iteri
+    (fun k v -> Hashtbl.replace subst_tbl (Var.id v) logical.(k))
+    op.spatial;
+  List.iter
+    (fun f ->
+      Array.iteri
+        (fun k v -> Hashtbl.replace subst_tbl (Var.id v) logical.(k))
+        f.fop.Opdef.spatial)
+    fused;
+  Hashtbl.iter (fun id e -> Hashtbl.replace subst_tbl id e) r_subst;
+  let substitute e =
+    Ixexpr.simplify ~bounds
+      (Ixexpr.subst (fun v -> Hashtbl.find_opt subst_tbl (Var.id v)) e)
+  in
+
+  (* Slot table. *)
+  let slots : Program.slot list ref = ref [] in
+  let slot_of name layout role =
+    let indexed = List.mapi (fun i s -> (i, s)) !slots in
+    match List.find_opt (fun (_, s) -> s.Program.sname = name) indexed with
+    | Some (i, _) -> i
+    | None ->
+        slots := !slots @ [ { Program.sname = name; layout; role } ];
+        List.length !slots - 1
+  in
+  List.iter
+    (fun (n, shape) ->
+      let layout = layouts n in
+      if not (Shape.equal (Layout.logical_shape layout) shape) then
+        err "lower %s: layout for %s has wrong logical shape" op.name n;
+      ignore (slot_of n layout Program.Input : int))
+    op.inputs;
+  let out_role = if fused = [] then Program.Output else Program.Temp in
+  let out_slot = slot_of op.out_name out_layout out_role in
+
+  (* Rewrite the producer body: layout-forward each load (Eq. (1) aware),
+     then substitute loop variables and simplify. *)
+  let window = Opdef.window_fn op in
+  let producer_load name idx =
+    let layout = layouts name in
+    let phys_idx = Layout.forward_exprs ~bounds ~window layout idx in
+    { Program.slot = slot_of name layout Program.Input; idx = phys_idx }
+  in
+  let body0 = pexpr_of_sexpr ~load:producer_load op.body in
+  let body = map_pexpr_ix substitute body0 in
+  let out_access = { Program.slot = out_slot; idx = d_exprs } in
+
+  (* Fused consumers: lowered at the same loop point.  A consumer load of a
+     tensor already produced in this nest resolves to that slot through the
+     shared output layout. *)
+  let produced = Hashtbl.create 4 in
+  Hashtbl.replace produced op.out_name out_layout;
+  let consumer_stmts =
+    List.mapi
+      (fun ci f ->
+        let cop = f.fop in
+        let load name idx =
+          match Hashtbl.find_opt produced name with
+          | Some lay ->
+              let phys_idx = Layout.forward_exprs ~bounds lay idx in
+              { Program.slot = slot_of name lay Program.Temp; idx = phys_idx }
+          | None ->
+              let lay = layouts name in
+              let phys_idx = Layout.forward_exprs ~bounds lay idx in
+              { Program.slot = slot_of name lay Program.Input; idx = phys_idx }
+        in
+        let b = pexpr_of_sexpr ~load cop.Opdef.body in
+        let b = map_pexpr_ix substitute b in
+        let role =
+          if ci = List.length fused - 1 then Program.Output else Program.Temp
+        in
+        let cslot = slot_of cop.Opdef.out_name f.fout_layout role in
+        Hashtbl.replace produced cop.Opdef.out_name f.fout_layout;
+        Program.Store ({ Program.slot = cslot; idx = d_exprs }, b))
+      fused
+  in
+
+  (* Assemble the loop nest. *)
+  let outer_band =
+    Array.to_list dims |> List.filter_map (fun d -> d.outer)
+  in
+  let inner_band =
+    Array.to_list dims |> List.filter_map (fun d -> d.inner)
+  in
+  let outer_band =
+    List.mapi
+      (fun i l ->
+        if i < schedule.parallel then { l with Program.kind = Program.Parallel }
+        else l)
+      outer_band
+  in
+  let mark_last kind = function
+    | [] -> []
+    | ls ->
+        let n = List.length ls in
+        List.mapi (fun i l -> if i = n - 1 then { l with Program.kind = kind } else l) ls
+  in
+  let outer_band, inner_band =
+    if not schedule.vectorize then (outer_band, inner_band)
+    else if inner_band <> [] then
+      (outer_band, mark_last Program.Vectorized inner_band)
+    else (mark_last Program.Vectorized outer_band, inner_band)
+  in
+  let reduce_loops =
+    if schedule.unroll then mark_last Program.Unrolled reduce_loops
+    else reduce_loops
+  in
+
+  let body_stmt =
+    match op.combiner with
+    | Opdef.Assign ->
+        let core = Program.Block (Program.Store (out_access, body) :: consumer_stmts) in
+        nest_loops outer_band (nest_loops inner_band core)
+    | Opdef.Sum | Opdef.Max ->
+        let red = match op.combiner with Opdef.Sum -> Program.Rsum | _ -> Program.Rmax in
+        let init_stmt = Program.Store (out_access, Program.Pconst op.init) in
+        let update = Program.Reduce (out_access, red, body) in
+        if schedule.reduce_outer then
+          let inner_init = nest_loops inner_band init_stmt in
+          let inner_update = nest_loops reduce_loops (nest_loops inner_band update) in
+          let epilogue =
+            if consumer_stmts = [] then []
+            else [ nest_loops inner_band (Program.Block consumer_stmts) ]
+          in
+          nest_loops outer_band
+            (Program.Block ([ inner_init; inner_update ] @ epilogue))
+        else
+          let core =
+            Program.Block
+              ((init_stmt :: [ nest_loops reduce_loops update ]) @ consumer_stmts)
+          in
+          nest_loops outer_band (nest_loops inner_band core)
+  in
+  let flops =
+    Opdef.flops op + List.fold_left (fun a f -> a + Opdef.flops f.fop) 0 fused
+  in
+  {
+    Program.pname = op.name;
+    body = body_stmt;
+    slots = Array.of_list !slots;
+    flops;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Conversion operators                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A conversion operator copies a tensor stored with [src] layout into
+   [dst] layout (Fig. 5a).  It iterates over the destination's physical
+   space; positions that fall outside the logical tensor (padding) are
+   zero-filled. *)
+let conversion ?(name = "convert") ~(src : Layout.t) ~(dst : Layout.t) () :
+    Program.t =
+  if not (Shape.equal (Layout.logical_shape src) (Layout.logical_shape dst))
+  then err "conversion: logical shapes differ";
+  if not (Layout.invertible src) then
+    err "conversion: source layout must be invertible";
+  let phys = Layout.physical_shape dst in
+  let rank = Shape.rank phys in
+  let btbl = Hashtbl.create 16 in
+  let bounds v = Hashtbl.find_opt btbl (Var.id v) in
+  let loops =
+    Array.to_list
+      (Array.init rank (fun d ->
+           let v = Var.fresh (Fmt.str "c%d" d) in
+           Hashtbl.replace btbl (Var.id v) (0, phys.(d) - 1);
+           { Program.v; extent = phys.(d); kind = Program.Serial }))
+  in
+  let loops =
+    match List.rev loops with
+    | last :: rest ->
+        List.rev ({ last with Program.kind = Program.Vectorized } :: rest)
+    | [] -> []
+  in
+  let pvars = Array.of_list (List.map (fun l -> Ixexpr.var l.Program.v) loops) in
+  let logical, conds = Layout.logical_of_physical ~bounds dst pvars in
+  let src_idx = Layout.forward_exprs ~bounds src logical in
+  let src_access = { Program.slot = 0; idx = src_idx } in
+  let dst_access = { Program.slot = 1; idx = pvars } in
+  let value =
+    match conds with
+    | [] -> Program.Pload src_access
+    | conds ->
+        let cond =
+          List.fold_left
+            (fun acc (e, d) ->
+              let c =
+                Sexpr.And
+                  ( Sexpr.Cmp (Sexpr.Cge, e, Ixexpr.const 0),
+                    Sexpr.Cmp (Sexpr.Clt, e, Ixexpr.const d) )
+              in
+              match acc with None -> Some c | Some a -> Some (Sexpr.And (a, c)))
+            None conds
+          |> Option.get
+        in
+        Program.Pselect (cond, Program.Pload src_access, Program.Pconst 0.0)
+  in
+  let body = nest_loops loops (Program.Store (dst_access, value)) in
+  {
+    Program.pname = name;
+    body;
+    slots =
+      [|
+        { Program.sname = name ^ ".src"; layout = src; role = Program.Input };
+        { Program.sname = name ^ ".dst"; layout = dst; role = Program.Output };
+      |];
+    flops = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Elementwise operator emitting an arbitrary output layout            *)
+(* ------------------------------------------------------------------ *)
+
+(* Lower an [Assign] operator so that it *writes* an output layout that may
+   contain advanced primitives (pad / unfold).  This realizes Fig. 5b: when
+   a layout is propagated backward onto a simple producer, that producer
+   performs the conversion as part of its own work instead of a separate
+   conversion operator.  The loop nest covers the output's physical space;
+   positions that map outside the logical tensor (padding) store zero, and
+   overlapped (unfolded) positions are computed redundantly. *)
+let lower_assign_to ~(op : Opdef.t) ~(layouts : string -> Layout.t)
+    ~(out_layout : Layout.t) ?(vectorize = true) ?(parallel = 0) () :
+    Program.t =
+  if op.Opdef.combiner <> Opdef.Assign then
+    err "lower_assign_to %s: operator is not elementwise" op.Opdef.name;
+  if not (Shape.equal (Layout.logical_shape out_layout) op.Opdef.out_shape)
+  then err "lower_assign_to %s: output layout shape mismatch" op.Opdef.name;
+  let phys = Layout.physical_shape out_layout in
+  let rank = Shape.rank phys in
+  let btbl = Hashtbl.create 16 in
+  let bounds v = Hashtbl.find_opt btbl (Var.id v) in
+  let loops =
+    Array.to_list
+      (Array.init rank (fun d ->
+           let v = Var.fresh (Fmt.str "e%d" d) in
+           Hashtbl.replace btbl (Var.id v) (0, phys.(d) - 1);
+           { Program.v; extent = phys.(d); kind = Program.Serial }))
+  in
+  let loops =
+    List.mapi
+      (fun i l ->
+        if i < parallel then { l with Program.kind = Program.Parallel } else l)
+      loops
+  in
+  let loops =
+    if not vectorize then loops
+    else
+      match List.rev loops with
+      | last :: rest ->
+          List.rev ({ last with Program.kind = Program.Vectorized } :: rest)
+      | [] -> []
+  in
+  let pvars = Array.of_list (List.map (fun l -> Ixexpr.var l.Program.v) loops) in
+  let logical, conds = Layout.logical_of_physical ~bounds out_layout pvars in
+  (* Bind spatial vars to the recovered logical coordinates.  At padded
+     positions these can be out of range; the guard below keeps evaluation
+     inside the valid branch. *)
+  let subst_tbl = Hashtbl.create 16 in
+  Array.iteri
+    (fun k v -> Hashtbl.replace subst_tbl (Var.id v) logical.(k))
+    op.Opdef.spatial;
+  let substitute e =
+    Ixexpr.simplify ~bounds
+      (Ixexpr.subst (fun v -> Hashtbl.find_opt subst_tbl (Var.id v)) e)
+  in
+  let slots : Program.slot list ref = ref [] in
+  let slot_of name layout role =
+    let indexed = List.mapi (fun i s -> (i, s)) !slots in
+    match List.find_opt (fun (_, s) -> s.Program.sname = name) indexed with
+    | Some (i, _) -> i
+    | None ->
+        slots := !slots @ [ { Program.sname = name; layout; role } ];
+        List.length !slots - 1
+  in
+  let load name idx =
+    let lay = layouts name in
+    let phys_idx = Layout.forward_exprs ~bounds lay idx in
+    { Program.slot = slot_of name lay Program.Input; idx = phys_idx }
+  in
+  List.iter
+    (fun (n, _) -> ignore (slot_of n (layouts n) Program.Input : int))
+    op.Opdef.inputs;
+  let body0 = pexpr_of_sexpr ~load op.Opdef.body in
+  let body = map_pexpr_ix substitute body0 in
+  let out_slot = slot_of op.Opdef.out_name out_layout Program.Output in
+  let value =
+    match conds with
+    | [] -> body
+    | conds ->
+        let cond =
+          List.fold_left
+            (fun acc (e, d) ->
+              let c =
+                Sexpr.And
+                  ( Sexpr.Cmp (Sexpr.Cge, e, Ixexpr.const 0),
+                    Sexpr.Cmp (Sexpr.Clt, e, Ixexpr.const d) )
+              in
+              match acc with None -> Some c | Some a -> Some (Sexpr.And (a, c)))
+            None conds
+          |> Option.get
+        in
+        Program.Pselect (cond, body, Program.Pconst 0.0)
+  in
+  let stmt =
+    nest_loops loops (Program.Store ({ Program.slot = out_slot; idx = pvars }, value))
+  in
+  {
+    Program.pname = op.Opdef.name;
+    body = stmt;
+    slots = Array.of_list !slots;
+    flops = Opdef.flops op;
+  }

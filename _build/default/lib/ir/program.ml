@@ -1,0 +1,139 @@
+(* Lowered tensor programs: explicit loop nests over physical buffers.
+
+   A program is what the transformation module hands to the machine
+   simulator: a loop nest whose accesses are physical index expressions
+   into a table of tensor slots.  Loop kinds carry the scheduling
+   annotations (parallel / vectorized / unrolled) that the machine model
+   interprets. *)
+
+module Shape = Alt_tensor.Shape
+module Var = Alt_tensor.Var
+module Ixexpr = Alt_tensor.Ixexpr
+module Layout = Alt_tensor.Layout
+
+type loop_kind = Serial | Parallel | Vectorized | Unrolled
+
+type loop = { v : Var.t; extent : int; kind : loop_kind }
+
+type access = { slot : int; idx : Ixexpr.t array }
+
+type pexpr =
+  | Pload of access
+  | Pconst of float
+  | Pbin of Sexpr.binop * pexpr * pexpr
+  | Pun of Sexpr.unop * pexpr
+  | Pselect of Sexpr.cond * pexpr * pexpr
+
+type reducer = Rsum | Rmax
+
+type stmt =
+  | For of loop * stmt
+  | Block of stmt list
+  | Store of access * pexpr
+  | Reduce of access * reducer * pexpr
+
+type role = Input | Output | Temp
+
+type slot = { sname : string; layout : Layout.t; role : role }
+
+type t = { pname : string; body : stmt; slots : slot array; flops : int }
+
+let slot_index t name =
+  let rec find i =
+    if i >= Array.length t.slots then
+      invalid_arg (Fmt.str "Program.slot_index: no slot %s" name)
+    else if t.slots.(i).sname = name then i
+    else find (i + 1)
+  in
+  find 0
+
+let rec iter_stmt f s =
+  f s;
+  match s with
+  | For (_, b) -> iter_stmt f b
+  | Block l -> List.iter (iter_stmt f) l
+  | Store _ | Reduce _ -> ()
+
+let loops t =
+  let acc = ref [] in
+  iter_stmt (function For (l, _) -> acc := l :: !acc | _ -> ()) t.body;
+  List.rev !acc
+
+let rec expr_accesses = function
+  | Pload a -> [ a ]
+  | Pconst _ -> []
+  | Pbin (_, a, b) -> expr_accesses a @ expr_accesses b
+  | Pun (_, a) -> expr_accesses a
+  | Pselect (_, a, b) -> expr_accesses a @ expr_accesses b
+
+(* All (read, write) accesses in the program. *)
+let accesses t =
+  let reads = ref [] and writes = ref [] in
+  iter_stmt
+    (function
+      | Store (a, e) ->
+          writes := a :: !writes;
+          reads := expr_accesses e @ !reads
+      | Reduce (a, _, e) ->
+          writes := a :: !writes;
+          reads := (a :: expr_accesses e) @ !reads
+      | For _ | Block _ -> ())
+    t.body;
+  (List.rev !reads, List.rev !writes)
+
+(* Total number of innermost statement executions. *)
+let rec points_of_stmt = function
+  | For (l, b) -> l.extent * points_of_stmt b
+  | Block l -> List.fold_left (fun a s -> a + points_of_stmt s) 0 l
+  | Store _ | Reduce _ -> 1
+
+let points t = points_of_stmt t.body
+
+let pp_kind ppf = function
+  | Serial -> ()
+  | Parallel -> Fmt.string ppf " parallel"
+  | Vectorized -> Fmt.string ppf " vectorize"
+  | Unrolled -> Fmt.string ppf " unroll"
+
+let rec pp_pexpr slots ppf = function
+  | Pload a -> pp_access slots ppf a
+  | Pconst f -> Fmt.float ppf f
+  | Pbin (op, a, b) ->
+      Fmt.pf ppf "(%a %a %a)" (pp_pexpr slots) a Sexpr.pp_binop op
+        (pp_pexpr slots) b
+  | Pun (op, a) -> Fmt.pf ppf "%a(%a)" Sexpr.pp_unop op (pp_pexpr slots) a
+  | Pselect (c, a, b) ->
+      Fmt.pf ppf "select(%a, %a, %a)" Sexpr.pp_cond c (pp_pexpr slots) a
+        (pp_pexpr slots) b
+
+and pp_access slots ppf a =
+  Fmt.pf ppf "%s[%a]"
+    (slots.(a.slot)).sname
+    Fmt.(array ~sep:(any "][") Ixexpr.pp)
+    a.idx
+
+let rec pp_stmt slots indent ppf s =
+  let pad = String.make indent ' ' in
+  match s with
+  | For (l, b) ->
+      Fmt.pf ppf "%sfor %s in 0..%d%a:@." pad (Var.name l.v) l.extent pp_kind
+        l.kind;
+      pp_stmt slots (indent + 2) ppf b
+  | Block lst -> List.iter (pp_stmt slots indent ppf) lst
+  | Store (a, e) ->
+      Fmt.pf ppf "%s%a = %a@." pad (pp_access slots) a (pp_pexpr slots) e
+  | Reduce (a, r, e) ->
+      let op = match r with Rsum -> "+=" | Rmax -> "max=" in
+      Fmt.pf ppf "%s%a %s %a@." pad (pp_access slots) a op (pp_pexpr slots) e
+
+let pp ppf t =
+  Fmt.pf ppf "program %s (flops=%d):@." t.pname t.flops;
+  Array.iteri
+    (fun i s ->
+      Fmt.pf ppf "  slot %d: %s %a (%s)@." i s.sname Shape.pp
+        (Layout.physical_shape s.layout)
+        (match s.role with Input -> "in" | Output -> "out" | Temp -> "tmp"))
+    t.slots;
+  pp_stmt t.slots 2 ppf t.body
+
+let to_string t = Fmt.str "%a" pp t

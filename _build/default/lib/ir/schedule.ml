@@ -1,0 +1,83 @@
+(* Loop schedules: the instantiation of TVM-style loop primitives that the
+   lowering pass realizes (paper Section 4.3).
+
+   A schedule is relative to a given output *physical* shape (the loop nest
+   mirrors the output layout one-to-one, Section 6), so it is created from
+   the operator and its output layout.  Knobs:
+
+   - [sp_tiles.(d)]  inner tile extent for physical spatial dim [d]
+     (a divisor; 1 = untouched) — realizes loop split + reorder into an
+     outer band and an inner band;
+   - [r_tiles.(j)]   split factor for reduction iterator [j];
+   - [reduce_outer]  whether reduction loops wrap the inner spatial band
+     (register-blocking style) or sit innermost with a scalar accumulator;
+   - [vectorize]     vectorize the innermost spatial loop;
+   - [parallel]      number of leading outer-band loops marked parallel;
+   - [unroll]        mark the innermost reduction loop unrolled.
+
+   The primitive-style functions ([split], [reorder_reduce_outer],
+   [vectorize], [parallel], [unroll]) mirror the paper's schedule-language
+   interface: each records a decision into the schedule state. *)
+
+type t = {
+  sp_tiles : int array;
+  r_tiles : int array;
+  reduce_outer : bool;
+  vectorize : bool;
+  parallel : int;
+  unroll : bool;
+}
+
+let default ~rank ~nred =
+  {
+    sp_tiles = Array.make rank 1;
+    r_tiles = Array.make nred 1;
+    reduce_outer = false;
+    vectorize = false;
+    parallel = 0;
+    unroll = false;
+  }
+
+let split t ~dim ~inner =
+  let sp = Array.copy t.sp_tiles in
+  sp.(dim) <- inner;
+  { t with sp_tiles = sp }
+
+let split_reduce t ~index ~inner =
+  let r = Array.copy t.r_tiles in
+  r.(index) <- inner;
+  { t with r_tiles = r }
+
+let reorder_reduce_outer t b = { t with reduce_outer = b }
+let vectorize t = { t with vectorize = true }
+let no_vectorize t = { t with vectorize = false }
+let parallel t n = { t with parallel = n }
+let unroll t = { t with unroll = true }
+
+(* Clamp every factor to the nearest divisor of its extent, so schedules
+   sampled from a continuous space are always legal. *)
+let legalize t ~(phys : int array) ~(reduce_extents : int array) =
+  let sp =
+    Array.mapi
+      (fun d f -> Alt_tensor.Shape.round_to_divisor phys.(d) (max 1 f))
+      t.sp_tiles
+  in
+  let r =
+    Array.mapi
+      (fun j f -> Alt_tensor.Shape.round_to_divisor reduce_extents.(j) (max 1 f))
+      t.r_tiles
+  in
+  {
+    t with
+    sp_tiles = sp;
+    r_tiles = r;
+    parallel = max 0 (min t.parallel (Array.length phys));
+  }
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<h>tiles=[%a] rtiles=[%a] reduce_outer=%b vec=%b par=%d unroll=%b@]"
+    Fmt.(array ~sep:comma int)
+    t.sp_tiles
+    Fmt.(array ~sep:comma int)
+    t.r_tiles t.reduce_outer t.vectorize t.parallel t.unroll

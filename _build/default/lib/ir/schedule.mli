@@ -1,0 +1,32 @@
+(** Loop schedules: the instantiation of loop primitives (Section 4.3)
+    realized by lowering.  A schedule is relative to the output tensor's
+    physical shape, since the loop nest mirrors it one-to-one. *)
+
+type t = {
+  sp_tiles : int array;  (** inner tile extent per physical spatial dim *)
+  r_tiles : int array;  (** split factor per reduction iterator *)
+  reduce_outer : bool;
+      (** reductions wrap the inner spatial band (register blocking)
+          instead of sitting innermost with a scalar accumulator *)
+  vectorize : bool;  (** vectorize the innermost spatial loop *)
+  parallel : int;  (** leading outer loops marked parallel *)
+  unroll : bool;  (** unroll the innermost reduction loop *)
+}
+
+val default : rank:int -> nred:int -> t
+
+(** Primitive-style builders (each records a decision). *)
+
+val split : t -> dim:int -> inner:int -> t
+val split_reduce : t -> index:int -> inner:int -> t
+val reorder_reduce_outer : t -> bool -> t
+val vectorize : t -> t
+val no_vectorize : t -> t
+val parallel : t -> int -> t
+val unroll : t -> t
+
+val legalize : t -> phys:int array -> reduce_extents:int array -> t
+(** Clamp every factor to the nearest divisor of its extent, so schedules
+    sampled from a continuous space are always legal. *)
+
+val pp : t Fmt.t

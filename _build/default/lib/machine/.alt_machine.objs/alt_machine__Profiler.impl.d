@@ -1,0 +1,1 @@
+lib/machine/profiler.ml: Alt_ir Alt_tensor Array Cache Float Fmt Hashtbl List Machine

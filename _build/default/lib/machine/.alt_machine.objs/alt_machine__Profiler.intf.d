@@ -1,0 +1,1 @@
+lib/machine/profiler.mli: Alt_ir Fmt Machine

@@ -1,0 +1,1 @@
+lib/machine/runtime.ml: Alt_ir Alt_tensor Array Fmt List Profiler

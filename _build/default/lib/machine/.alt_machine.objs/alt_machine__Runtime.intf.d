@@ -1,0 +1,1 @@
+lib/machine/runtime.mli: Alt_ir Machine Profiler

@@ -1,0 +1,96 @@
+(* Set-associative LRU cache model.
+
+   The simulator substitutes for the paper's hardware testbeds: data layout
+   optimizations pay off through spatial locality, prefetch friendliness and
+   reuse distance, which is exactly what a cache model measures.  Addresses
+   are byte addresses; the cache stores line tags only (data lives in the
+   program buffers). *)
+
+type cfg = { size_bytes : int; assoc : int; line_bytes : int }
+
+type t = {
+  cfg : cfg;
+  sets : int;
+  line_shift : int;
+  tags : int array; (* sets * assoc; -1 = invalid *)
+  stamp : int array; (* LRU stamps, same indexing *)
+  mutable clock : int;
+}
+
+let log2_exact n =
+  let rec go k = if 1 lsl k = n then k else go (k + 1) in
+  if n <= 0 || n land (n - 1) <> 0 then
+    invalid_arg "Cache.log2_exact: not a power of two"
+  else go 0
+
+let create cfg =
+  let lines = cfg.size_bytes / cfg.line_bytes in
+  if lines mod cfg.assoc <> 0 then invalid_arg "Cache.create: geometry";
+  let sets = lines / cfg.assoc in
+  ignore (log2_exact cfg.line_bytes);
+  ignore (log2_exact sets);
+  {
+    cfg;
+    sets;
+    line_shift = log2_exact cfg.line_bytes;
+    tags = Array.make (sets * cfg.assoc) (-1);
+    stamp = Array.make (sets * cfg.assoc) 0;
+    clock = 0;
+  }
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamp 0 (Array.length t.stamp) 0;
+  t.clock <- 0
+
+let line_of t addr = addr lsr t.line_shift
+
+(* Returns true on hit.  On miss the line is installed (LRU eviction). *)
+let access t addr =
+  let line = line_of t addr in
+  let set = line land (t.sets - 1) in
+  let base = set * t.cfg.assoc in
+  t.clock <- t.clock + 1;
+  let rec probe i =
+    if i = t.cfg.assoc then None
+    else if t.tags.(base + i) = line then Some i
+    else probe (i + 1)
+  in
+  match probe 0 with
+  | Some i ->
+      t.stamp.(base + i) <- t.clock;
+      true
+  | None ->
+      (* install in LRU way *)
+      let victim = ref 0 in
+      for i = 1 to t.cfg.assoc - 1 do
+        if t.stamp.(base + i) < t.stamp.(base + !victim) then victim := i
+      done;
+      t.tags.(base + !victim) <- line;
+      t.stamp.(base + !victim) <- t.clock;
+      false
+
+(* Install a line without counting it as a demand access (prefetch).
+   Returns true if the line was newly installed. *)
+let prefetch t addr =
+  let line = line_of t addr in
+  let set = line land (t.sets - 1) in
+  let base = set * t.cfg.assoc in
+  let rec probe i =
+    if i = t.cfg.assoc then None
+    else if t.tags.(base + i) = line then Some i
+    else probe (i + 1)
+  in
+  match probe 0 with
+  | Some _ -> false
+  | None ->
+      t.clock <- t.clock + 1;
+      let victim = ref 0 in
+      for i = 1 to t.cfg.assoc - 1 do
+        if t.stamp.(base + i) < t.stamp.(base + !victim) then victim := i
+      done;
+      t.tags.(base + !victim) <- line;
+      t.stamp.(base + !victim) <- t.clock;
+      true
+
+let line_bytes t = t.cfg.line_bytes

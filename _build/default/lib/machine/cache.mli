@@ -1,0 +1,21 @@
+(** Set-associative LRU cache model with explicit prefetch insertion.
+    Addresses are byte addresses; only line tags are stored. *)
+
+type cfg = { size_bytes : int; assoc : int; line_bytes : int }
+
+type t
+
+val create : cfg -> t
+(** Geometry must be power-of-two sets and line size. *)
+
+val reset : t -> unit
+
+val access : t -> int -> bool
+(** [access t addr] returns [true] on hit; on miss the line is installed
+    with LRU eviction. *)
+
+val prefetch : t -> int -> bool
+(** Install a line without counting a demand access; [true] if newly
+    installed. *)
+
+val line_bytes : t -> int

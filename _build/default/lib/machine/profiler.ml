@@ -1,0 +1,482 @@
+(* Trace-driven program profiler.
+
+   Interprets a lowered program against concrete buffers while feeding every
+   memory access through the two-level cache model and counting issued
+   instructions.  This is the stand-in for the paper's on-device
+   measurement: one [run] = one "hardware measurement" of the auto-tuner.
+
+   Modelling notes:
+   - Vectorization: statements under a [Vectorized] loop cost 1/lanes
+     instructions when their accesses are contiguous (stride 0 or 1 in the
+     vectorized variable); non-contiguous accesses cost a full gather.
+     All per-element cache effects are still simulated.
+   - Register accumulation: a [Reduce] whose accumulator tile fits in
+     registers is charged memory traffic once every K iterations, where K
+     is the extent product of the enclosing loops the accumulator is
+     invariant in (bounded by the register budget).  This models the
+     register blocking every real tensor compiler performs; without it,
+     reduction order would be invisible to the model.
+   - Parallelism: counters are accumulated serially; the latency formula
+     divides by the effective speedup of loops marked [Parallel].
+   - Sampling: when the iteration space exceeds [max_points], outermost
+     loops are truncated proportionally and the counters are rescaled
+     (documented in DESIGN.md §5); [sampled] is set in the result and
+     numerical outputs are then partial. *)
+
+module Var = Alt_tensor.Var
+module Shape = Alt_tensor.Shape
+module Ixexpr = Alt_tensor.Ixexpr
+module Layout = Alt_tensor.Layout
+module Program = Alt_ir.Program
+module Sexpr = Alt_ir.Sexpr
+
+type counters = {
+  mutable insts : float;
+  mutable loads : float;
+  mutable stores : float;
+  mutable flops : float;
+  mutable l1_accesses : float;
+  mutable l1_misses : float;
+  mutable l2_misses : float;
+}
+
+type result = {
+  machine : Machine.t;
+  insts : float;
+  loads : float;
+  stores : float;
+  flops : float;
+  l1_accesses : float;
+  l1_misses : float;
+  l2_misses : float;
+  parallel_extent : int;
+  cycles : float;
+  latency_ms : float;
+  sampled : bool;
+  scale : float;
+}
+
+let elem_bytes = 4 (* float32 addressing model *)
+
+(* ------------------------------------------------------------------ *)
+(* Execution context                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  mutable env : int array; (* loop variable values, dense-indexed *)
+  mutable bufs : float array array;
+  mutable bases : int array; (* byte base address per slot *)
+  l1 : Cache.t;
+  l2 : Cache.t;
+  machine : Machine.t;
+  c : counters;
+}
+
+let mem_access ctx addr =
+  ctx.c.l1_accesses <- ctx.c.l1_accesses +. 1.0;
+  if not (Cache.access ctx.l1 addr) then begin
+    ctx.c.l1_misses <- ctx.c.l1_misses +. 1.0;
+    if not (Cache.access ctx.l2 addr) then
+      ctx.c.l2_misses <- ctx.c.l2_misses +. 1.0;
+    let lb = Cache.line_bytes ctx.l1 in
+    for k = 1 to ctx.machine.Machine.prefetch_extra do
+      ignore (Cache.prefetch ctx.l1 (addr + (k * lb)) : bool);
+      ignore (Cache.prefetch ctx.l2 (addr + (k * lb)) : bool)
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilation                                             *)
+(* ------------------------------------------------------------------ *)
+
+type varmap = { tbl : (int, int) Hashtbl.t; mutable next : int }
+
+let var_slot vm (v : Var.t) =
+  match Hashtbl.find_opt vm.tbl (Var.id v) with
+  | Some i -> i
+  | None ->
+      let i = vm.next in
+      vm.next <- i + 1;
+      Hashtbl.replace vm.tbl (Var.id v) i;
+      i
+
+let rec compile_ix vm (e : Ixexpr.t) : int array -> int =
+  match e with
+  | Ixexpr.Const n -> fun _ -> n
+  | Ixexpr.Var v ->
+      let i = var_slot vm v in
+      fun env -> env.(i)
+  | Ixexpr.Add (a, b) ->
+      let fa = compile_ix vm a and fb = compile_ix vm b in
+      fun env -> fa env + fb env
+  | Ixexpr.Sub (a, b) ->
+      let fa = compile_ix vm a and fb = compile_ix vm b in
+      fun env -> fa env - fb env
+  | Ixexpr.Mul (a, b) ->
+      let fa = compile_ix vm a and fb = compile_ix vm b in
+      fun env -> fa env * fb env
+  | Ixexpr.Div (a, b) ->
+      let fa = compile_ix vm a and fb = compile_ix vm b in
+      fun env -> Ixexpr.fdiv (fa env) (fb env)
+  | Ixexpr.Mod (a, b) ->
+      let fa = compile_ix vm a and fb = compile_ix vm b in
+      fun env -> Ixexpr.fmod (fa env) (fb env)
+  | Ixexpr.Min (a, b) ->
+      let fa = compile_ix vm a and fb = compile_ix vm b in
+      fun env -> min (fa env) (fb env)
+  | Ixexpr.Max (a, b) ->
+      let fa = compile_ix vm a and fb = compile_ix vm b in
+      fun env -> max (fa env) (fb env)
+
+let rec compile_cond vm (c : Sexpr.cond) : int array -> bool =
+  match c with
+  | Sexpr.Cmp (op, a, b) -> (
+      let fa = compile_ix vm a and fb = compile_ix vm b in
+      match op with
+      | Sexpr.Clt -> fun env -> fa env < fb env
+      | Sexpr.Cle -> fun env -> fa env <= fb env
+      | Sexpr.Cgt -> fun env -> fa env > fb env
+      | Sexpr.Cge -> fun env -> fa env >= fb env
+      | Sexpr.Ceq -> fun env -> fa env = fb env)
+  | Sexpr.And (a, b) ->
+      let fa = compile_cond vm a and fb = compile_cond vm b in
+      fun env -> fa env && fb env
+  | Sexpr.Or (a, b) ->
+      let fa = compile_cond vm a and fb = compile_cond vm b in
+      fun env -> fa env || fb env
+
+(* Static offset of an access: element offset closure over env. *)
+let compile_offset vm (slots : Program.slot array) (a : Program.access) :
+    int array -> int =
+  let phys = Layout.physical_shape slots.(a.Program.slot).Program.layout in
+  let strides = Shape.strides phys in
+  let fs = Array.map (compile_ix vm) a.Program.idx in
+  let n = Array.length fs in
+  fun env ->
+    let off = ref 0 in
+    for i = 0 to n - 1 do
+      off := !off + (fs.(i) env * strides.(i))
+    done;
+    !off
+
+(* Stride of the vectorized variable through the flattened offset of [a];
+   [None] when not affine.  0 and 1 are "contiguous" for vector issue. *)
+let vec_stride (slots : Program.slot array) (a : Program.access)
+    (v : Var.t option) : int option =
+  match v with
+  | None -> Some 0
+  | Some v -> (
+      let phys = Layout.physical_shape slots.(a.Program.slot).Program.layout in
+      let strides = Shape.strides phys in
+      let total = ref (Some 0) in
+      Array.iteri
+        (fun i e ->
+          match (!total, Ixexpr.coeff_of e v) with
+          | Some t, Some c -> total := Some (t + (c * strides.(i)))
+          | _ -> total := None)
+        a.Program.idx;
+      !total)
+
+type vec_ctx = { vvar : Var.t option; lanes : int }
+
+let access_inst_cost slots vc a =
+  match vc.vvar with
+  | None -> 1.0
+  | Some _ -> (
+      match vec_stride slots a vc.vvar with
+      | Some 0 | Some 1 -> 1.0 /. float_of_int vc.lanes
+      | Some _ | None -> 1.0)
+
+(* Compile a pexpr to an evaluator; loads count themselves. *)
+let rec compile_pexpr vm slots vc ctx (e : Program.pexpr) :
+    int array -> float =
+  match e with
+  | Program.Pconst f -> fun _ -> f
+  | Program.Pload a ->
+      let off = compile_offset vm slots a in
+      let cost = access_inst_cost slots vc a in
+      let slot = a.Program.slot in
+      fun env ->
+        let o = off env in
+        mem_access ctx (ctx.bases.(slot) + (o * elem_bytes));
+        ctx.c.loads <- ctx.c.loads +. cost;
+        ctx.c.insts <- ctx.c.insts +. cost;
+        ctx.bufs.(slot).(o)
+  | Program.Pbin (op, a, b) ->
+      let fa = compile_pexpr vm slots vc ctx a
+      and fb = compile_pexpr vm slots vc ctx b in
+      let g = Sexpr.apply_binop op in
+      fun env -> g (fa env) (fb env)
+  | Program.Pun (op, a) ->
+      let fa = compile_pexpr vm slots vc ctx a in
+      let g = Sexpr.apply_unop op in
+      fun env -> g (fa env)
+  | Program.Pselect (c, a, b) ->
+      let fc = compile_cond vm c
+      and fa = compile_pexpr vm slots vc ctx a
+      and fb = compile_pexpr vm slots vc ctx b in
+      fun env -> if fc env then fa env else fb env
+
+let rec pexpr_arith = function
+  | Program.Pload _ | Program.Pconst _ -> 0
+  | Program.Pbin (_, a, b) -> 1 + pexpr_arith a + pexpr_arith b
+  | Program.Pun (_, a) -> 1 + pexpr_arith a
+  | Program.Pselect (_, a, b) -> 1 + max (pexpr_arith a) (pexpr_arith b)
+
+(* ------------------------------------------------------------------ *)
+(* Sampling: truncate outermost loops to fit a point budget.           *)
+(* ------------------------------------------------------------------ *)
+
+(* Annotated copy of the statement tree carrying simulated extents. *)
+type astmt =
+  | Afor of Program.loop * int (* simulated extent *) * astmt
+  | Ablock of astmt list
+  | Aleaf of Program.stmt
+
+let rec annotate ratio (s : Program.stmt) : astmt =
+  match s with
+  | Program.For (l, b) ->
+      if ratio >= 1.0 then Afor (l, l.Program.extent, annotate 1.0 b)
+      else
+        let sim =
+          max 1
+            (int_of_float (Float.round (ratio *. float_of_int l.Program.extent)))
+        in
+        let sim = min sim l.Program.extent in
+        let ratio' = ratio *. float_of_int l.Program.extent /. float_of_int sim in
+        Afor (l, sim, annotate (Float.min 1.0 ratio') b)
+  | Program.Block lst -> Ablock (List.map (annotate ratio) lst)
+  | (Program.Store _ | Program.Reduce _) as leaf -> Aleaf leaf
+
+let rec sim_points = function
+  | Afor (_, sim, b) -> sim * sim_points b
+  | Ablock l -> List.fold_left (fun a s -> a + sim_points s) 0 l
+  | Aleaf _ -> 1
+
+(* ------------------------------------------------------------------ *)
+(* Statement compilation                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Register-promotion factor for a reduction accumulator: walk enclosing
+   loops innermost-first; loops whose variable the accumulator offset does
+   not depend on multiply K (traffic divisor); loops it does depend on grow
+   the register-tile footprint until the register budget is exhausted. *)
+let promotion_factor machine (enclosing : Program.loop list)
+    (a : Program.access) : int =
+  let deps =
+    Array.fold_left
+      (fun s e -> Var.Set.union s (Ixexpr.vars e))
+      Var.Set.empty a.Program.idx
+  in
+  let rec walk footprint k = function
+    | [] -> k
+    | (l : Program.loop) :: tl ->
+        if Var.Set.mem l.Program.v deps then begin
+          let footprint' = footprint * l.Program.extent in
+          if footprint' > machine.Machine.reg_cap then k
+          else walk footprint' k tl
+        end
+        else walk footprint (k * l.Program.extent) tl
+  in
+  max 1 (walk 1 1 enclosing)
+
+let compile ctx (p : Program.t) ~(sample_ratio : float) =
+  let machine = ctx.machine in
+  let vm = { tbl = Hashtbl.create 64; next = 0 } in
+  let slots = p.Program.slots in
+  let ann = annotate sample_ratio p.Program.body in
+  (* enclosing: innermost-first loop list; vc: vectorization context *)
+  let rec comp (enclosing : Program.loop list) (vc : vec_ctx) = function
+    | Afor (l, sim, b) ->
+        let slot = var_slot vm l.Program.v in
+        let vc' =
+          if l.Program.kind = Program.Vectorized then
+            { vvar = Some l.Program.v; lanes = machine.Machine.lanes }
+          else vc
+        in
+        let fb = comp (l :: enclosing) vc' b in
+        fun () ->
+          let env = ctx.env in
+          for x = 0 to sim - 1 do
+            env.(slot) <- x;
+            fb ()
+          done
+    | Ablock lst ->
+        let fs = List.map (comp enclosing vc) lst in
+        fun () -> List.iter (fun f -> f ()) fs
+    | Aleaf (Program.Store (a, e)) ->
+        let off = compile_offset vm slots a in
+        let fe = compile_pexpr vm slots vc ctx e in
+        let arith = float_of_int (pexpr_arith e) in
+        let arith_scaled =
+          match vc.vvar with
+          | None -> arith
+          | Some _ -> arith /. float_of_int vc.lanes
+        in
+        let st_cost = access_inst_cost slots vc a in
+        let slot = a.Program.slot in
+        fun () ->
+          let v = fe ctx.env in
+          let o = off ctx.env in
+          mem_access ctx (ctx.bases.(slot) + (o * elem_bytes));
+          ctx.bufs.(slot).(o) <- v;
+          ctx.c.stores <- ctx.c.stores +. st_cost;
+          ctx.c.insts <- ctx.c.insts +. st_cost +. arith_scaled;
+          ctx.c.flops <- ctx.c.flops +. arith
+    | Aleaf (Program.For _ | Program.Block _) -> assert false
+    | Aleaf (Program.Reduce (a, r, e)) ->
+        let off = compile_offset vm slots a in
+        let fe = compile_pexpr vm slots vc ctx e in
+        let arith = float_of_int (pexpr_arith e + 1) in
+        let arith_scaled =
+          match vc.vvar with
+          | None -> arith
+          | Some _ -> arith /. float_of_int vc.lanes
+        in
+        let acc_cost = access_inst_cost slots vc a in
+        let k = promotion_factor machine enclosing a in
+        let tick = ref 0 in
+        let slot = a.Program.slot in
+        let combine =
+          match r with
+          | Program.Rsum -> Float.add
+          | Program.Rmax -> Float.max
+        in
+        fun () ->
+          let v = fe ctx.env in
+          let o = off ctx.env in
+          let buf = ctx.bufs.(slot) in
+          buf.(o) <- combine buf.(o) v;
+          ctx.c.insts <- ctx.c.insts +. arith_scaled;
+          ctx.c.flops <- ctx.c.flops +. arith;
+          incr tick;
+          if !tick >= k then begin
+            tick := 0;
+            (* accumulator spill/refill once per K iterations *)
+            let addr = ctx.bases.(slot) + (o * elem_bytes) in
+            mem_access ctx addr;
+            mem_access ctx addr;
+            ctx.c.loads <- ctx.c.loads +. acc_cost;
+            ctx.c.stores <- ctx.c.stores +. acc_cost;
+            ctx.c.insts <- ctx.c.insts +. (2.0 *. acc_cost)
+          end
+  in
+  let runner = comp [] { vvar = None; lanes = machine.Machine.lanes } ann in
+  (vm, runner, ann)
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parallel_extent (p : Program.t) =
+  List.fold_left
+    (fun acc (l : Program.loop) ->
+      if l.Program.kind = Program.Parallel then acc * l.Program.extent else acc)
+    1 (Program.loops p)
+
+let latency_of_counters machine ~(c : counters) ~(par : int) =
+  let compute = c.insts *. machine.Machine.cpi in
+  let mem =
+    (c.l1_misses *. machine.Machine.l1_miss_penalty)
+    +. (c.l2_misses *. machine.Machine.l2_miss_penalty)
+  in
+  let serial = Float.max compute mem +. (0.25 *. Float.min compute mem) in
+  let speedup =
+    if par > 1 then
+      Float.max 1.0
+        (float_of_int (min machine.Machine.cores par)
+        *. machine.Machine.parallel_efficiency)
+    else 1.0
+  in
+  serial /. speedup
+
+let run ?(machine = Machine.intel_cpu) ?max_points (p : Program.t)
+    ~(bufs : float array array) : result =
+  if Array.length bufs <> Array.length p.Program.slots then
+    invalid_arg "Profiler.run: buffer count mismatch";
+  Array.iteri
+    (fun i b ->
+      let want =
+        Layout.num_physical_elements p.Program.slots.(i).Program.layout
+      in
+      if Array.length b <> want then
+        invalid_arg
+          (Fmt.str "Profiler.run: slot %d (%s) has %d elements, want %d" i
+             p.Program.slots.(i).Program.sname (Array.length b) want))
+    bufs;
+  let total = Program.points p in
+  let ratio =
+    match max_points with
+    | Some m when total > m -> float_of_int m /. float_of_int total
+    | _ -> 1.0
+  in
+  let c =
+    {
+      insts = 0.0;
+      loads = 0.0;
+      stores = 0.0;
+      flops = 0.0;
+      l1_accesses = 0.0;
+      l1_misses = 0.0;
+      l2_misses = 0.0;
+    }
+  in
+  let ctx =
+    {
+      env = [||];
+      bufs;
+      bases = [||];
+      l1 = Cache.create machine.Machine.l1;
+      l2 = Cache.create machine.Machine.l2;
+      machine;
+      c;
+    }
+  in
+  let vm, runner, ann = compile ctx p ~sample_ratio:ratio in
+  let simulated = sim_points ann in
+  let scale = float_of_int total /. float_of_int (max 1 simulated) in
+  (* Distinct, line-aligned base addresses per slot. *)
+  let bases = Array.make (Array.length bufs) 0 in
+  let cursor = ref 0 in
+  Array.iteri
+    (fun i b ->
+      bases.(i) <- !cursor;
+      let bytes = Array.length b * elem_bytes in
+      let lb = machine.Machine.l1.Cache.line_bytes in
+      cursor := !cursor + (Shape.cdiv bytes lb * lb) + lb)
+    bufs;
+  ctx.env <- Array.make (max 1 vm.next) 0;
+  ctx.bases <- bases;
+  runner ();
+  c.insts <- c.insts *. scale;
+  c.loads <- c.loads *. scale;
+  c.stores <- c.stores *. scale;
+  c.flops <- c.flops *. scale;
+  c.l1_accesses <- c.l1_accesses *. scale;
+  c.l1_misses <- c.l1_misses *. scale;
+  c.l2_misses <- c.l2_misses *. scale;
+  let par = parallel_extent p in
+  let cycles = latency_of_counters machine ~c ~par in
+  {
+    machine;
+    insts = c.insts;
+    loads = c.loads;
+    stores = c.stores;
+    flops = c.flops;
+    l1_accesses = c.l1_accesses;
+    l1_misses = c.l1_misses;
+    l2_misses = c.l2_misses;
+    parallel_extent = par;
+    cycles;
+    latency_ms = cycles /. (machine.Machine.freq_ghz *. 1e6);
+    sampled = ratio < 1.0;
+    scale;
+  }
+
+let pp_result ppf (r : result) =
+  Fmt.pf ppf
+    "@[<h>%s: lat=%.4fms insts=%.3e loads=%.3e stores=%.3e l1mis=%.3e \
+     l2mis=%.3e flops=%.3e par=%d%s@]"
+    r.machine.Machine.name r.latency_ms r.insts r.loads r.stores r.l1_misses
+    r.l2_misses r.flops r.parallel_extent
+    (if r.sampled then Fmt.str " (sampled x%.1f)" r.scale else "")

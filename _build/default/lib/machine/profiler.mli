@@ -1,0 +1,33 @@
+(** Trace-driven program profiler: interprets a lowered program against
+    concrete buffers while simulating the cache hierarchy and counting
+    issued instructions.  One [run] is one simulated "on-device
+    measurement" of the auto-tuner (see the implementation header for the
+    modelling notes on vectorization, register accumulation, parallelism
+    and sampling). *)
+
+module Program = Alt_ir.Program
+
+type result = {
+  machine : Machine.t;
+  insts : float;  (** issued instructions (vector-scaled) *)
+  loads : float;  (** load instructions *)
+  stores : float;
+  flops : float;
+  l1_accesses : float;
+  l1_misses : float;
+  l2_misses : float;
+  parallel_extent : int;
+  cycles : float;
+  latency_ms : float;
+  sampled : bool;  (** outer loops were truncated; outputs are partial *)
+  scale : float;  (** counter extrapolation factor when sampled *)
+}
+
+val run :
+  ?machine:Machine.t -> ?max_points:int -> Program.t ->
+  bufs:float array array -> result
+(** Execute the program over per-slot physical buffers (see
+    {!Runtime.alloc_bufs}).  When the iteration count exceeds
+    [max_points], outermost loops are truncated and counters rescaled. *)
+
+val pp_result : result Fmt.t

@@ -1,0 +1,47 @@
+(* Convenience runtime: allocate physical buffers for a program from
+   logical inputs, execute it under the profiler, and unpack results.
+
+   This is the path tests and examples use to check that transformed
+   programs compute exactly what the naive operator definition computes. *)
+
+module Shape = Alt_tensor.Shape
+module Layout = Alt_tensor.Layout
+module Buffer = Alt_tensor.Buffer
+module Program = Alt_ir.Program
+
+(* Physical buffers for every slot: inputs packed from logical data,
+   non-inputs zero-initialized. *)
+let alloc_bufs (p : Program.t) ~(inputs : (string * float array) list) :
+    float array array =
+  Array.map
+    (fun (s : Program.slot) ->
+      match s.Program.role with
+      | Program.Input -> (
+          match List.assoc_opt s.Program.sname inputs with
+          | Some logical -> Layout.pack s.Program.layout logical
+          | None ->
+              invalid_arg
+                (Fmt.str "Runtime.alloc_bufs: missing input %s" s.Program.sname))
+      | Program.Output | Program.Temp ->
+          Array.make (Layout.num_physical_elements s.Program.layout) 0.0)
+    p.Program.slots
+
+let output_logical (p : Program.t) (bufs : float array array) name :
+    float array =
+  let i = Program.slot_index p name in
+  Layout.unpack p.Program.slots.(i).Program.layout bufs.(i)
+
+(* Run a program end to end on logical inputs; returns the logical contents
+   of every non-input slot plus the profiler result. *)
+let run_logical ?machine ?max_points (p : Program.t)
+    ~(inputs : (string * float array) list) :
+    (string * float array) list * Profiler.result =
+  let bufs = alloc_bufs p ~inputs in
+  let r = Profiler.run ?machine ?max_points p ~bufs in
+  let outs =
+    Array.to_list p.Program.slots
+    |> List.filter (fun (s : Program.slot) -> s.Program.role <> Program.Input)
+    |> List.map (fun (s : Program.slot) ->
+           (s.Program.sname, output_logical p bufs s.Program.sname))
+  in
+  (outs, r)

@@ -1,0 +1,21 @@
+(** Convenience runtime: allocate physical buffers from logical inputs,
+    execute a program under the profiler, and unpack results — the path
+    tests and examples use to check transformed programs bit-for-bit
+    against the reference interpreter. *)
+
+module Program = Alt_ir.Program
+
+val alloc_bufs :
+  Program.t -> inputs:(string * float array) list -> float array array
+(** Inputs are packed through their slot layouts; non-inputs are
+    zero-initialized. *)
+
+val output_logical : Program.t -> float array array -> string -> float array
+(** Unpack a non-input slot back to logical row-major data. *)
+
+val run_logical :
+  ?machine:Machine.t -> ?max_points:int -> Program.t ->
+  inputs:(string * float array) list ->
+  (string * float array) list * Profiler.result
+(** Run end-to-end on logical inputs; returns the logical contents of every
+    non-input slot plus the profile. *)

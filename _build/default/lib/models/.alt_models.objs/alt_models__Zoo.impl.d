@@ -1,0 +1,1 @@
+lib/models/zoo.ml: Alt_graph Alt_tensor Float Fmt List

@@ -1,0 +1,406 @@
+(* Model zoo: the networks of the paper's end-to-end evaluation (Fig. 10),
+   built programmatically from the operator library.
+
+   Spatial sizes and channel counts are scaled down so the trace-driven
+   simulator stays tractable (see DESIGN.md §5 and EXPERIMENTS.md); the
+   graph *structures* — residual blocks, inverted bottlenecks, multi-head
+   attention, 3-D residual stages — are preserved, because propagation,
+   fusion conflicts and conversion placement depend on structure, not
+   absolute size.  Batch normalization is folded into the preceding
+   convolution (standard for inference), leaving conv + bias + activation
+   chains. *)
+
+module Shape = Alt_tensor.Shape
+module Graph = Alt_graph.Graph
+module Ops = Alt_graph.Ops
+
+type spec = { name : string; graph : Graph.t }
+
+let uid = ref 0
+
+let fresh prefix =
+  incr uid;
+  Fmt.str "%s_%d" prefix !uid
+
+(* ------------------------------------------------------------------ *)
+(* ResNet-18 (image)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* conv3x3 (+optional stride) + bias + relu, with explicit padding *)
+let conv3x3_block b ~x ~n ~cin ~cout ~h ~w ~stride ~relu =
+  let tag = fresh "c3" in
+  let k = Graph.param b (tag ^ ".k") [| cout; cin; 3; 3 |] in
+  let bias = Graph.param b (tag ^ ".b") [| cout |] in
+  let ho = h / stride and wo = w / stride in
+  let pad_hi = if stride = 2 then 0 else 1 in
+  let xp =
+    Graph.add b
+      (Ops.pad2d ~name:(tag ^ ".pad") ~inp:x ~out:(tag ^ ".xp") ~n ~c:cin ~h
+         ~w ~pad:1 ~pad_hi ())
+  in
+  let y =
+    Graph.add b
+      (Ops.c2d ~name:(tag ^ ".conv") ~inp:xp ~ker:k ~out:(tag ^ ".y") ~n
+         ~i:cin ~o:cout ~h:ho ~w:wo ~kh:3 ~kw:3 ~stride ())
+  in
+  let yb =
+    Graph.add b
+      (Ops.bias_add ~name:(tag ^ ".bias") ~inp:y ~bias ~out:(tag ^ ".yb")
+         ~shape:[| n; cout; ho; wo |] ~dim:1 ())
+  in
+  if relu then
+    Graph.add b
+      (Ops.relu ~name:(tag ^ ".relu") ~inp:yb ~out:(tag ^ ".yr")
+         ~shape:[| n; cout; ho; wo |] ())
+  else yb
+
+let conv1x1_block b ~x ~n ~cin ~cout ~h ~w ~stride ~relu =
+  let tag = fresh "c1" in
+  let k = Graph.param b (tag ^ ".k") [| cout; cin; 1; 1 |] in
+  let bias = Graph.param b (tag ^ ".b") [| cout |] in
+  let ho = h / stride and wo = w / stride in
+  let y =
+    Graph.add b
+      (Ops.c2d ~name:(tag ^ ".conv") ~inp:x ~ker:k ~out:(tag ^ ".y") ~n
+         ~i:cin ~o:cout ~h:ho ~w:wo ~kh:1 ~kw:1 ~stride ~in_h:h ~in_w:w ())
+  in
+  let yb =
+    Graph.add b
+      (Ops.bias_add ~name:(tag ^ ".bias") ~inp:y ~bias ~out:(tag ^ ".yb")
+         ~shape:[| n; cout; ho; wo |] ~dim:1 ())
+  in
+  if relu then
+    Graph.add b
+      (Ops.relu ~name:(tag ^ ".relu") ~inp:yb ~out:(tag ^ ".yr")
+         ~shape:[| n; cout; ho; wo |] ())
+  else yb
+
+let basic_block b ~x ~n ~cin ~cout ~h ~w ~stride =
+  let y1 = conv3x3_block b ~x ~n ~cin ~cout ~h ~w ~stride ~relu:true in
+  let ho = h / stride and wo = w / stride in
+  let y2 = conv3x3_block b ~x:y1 ~n ~cin:cout ~cout ~h:ho ~w:wo ~stride:1 ~relu:false in
+  let skip =
+    if stride = 1 && cin = cout then x
+    else conv1x1_block b ~x ~n ~cin ~cout ~h ~w ~stride ~relu:false
+  in
+  let tag = fresh "res" in
+  let s =
+    Graph.add b
+      (Ops.add ~name:(tag ^ ".add") ~a:y2 ~b:skip ~out:(tag ^ ".s")
+         ~shape:[| n; cout; ho; wo |] ())
+  in
+  Graph.add b
+    (Ops.relu ~name:(tag ^ ".relu") ~inp:s ~out:(tag ^ ".r")
+       ~shape:[| n; cout; ho; wo |] ())
+
+let classifier b ~x ~n ~c ~classes =
+  let tag = fresh "fc" in
+  let w = Graph.param b (tag ^ ".w") [| c; classes |] in
+  let bias = Graph.param b (tag ^ ".b") [| classes |] in
+  let y = Graph.add b (Ops.gmm ~name:(tag ^ ".gmm") ~a:x ~b:w ~out:(tag ^ ".y") ~m:n ~k:c ~n:classes ()) in
+  Graph.add b
+    (Ops.bias_add ~name:(tag ^ ".bias") ~inp:y ~bias ~out:(tag ^ ".yb")
+       ~shape:[| n; classes |] ~dim:1 ())
+
+let resnet18 ?(batch = 1) ?(size = 32) ?(base = 16) ?(classes = 10) () : spec =
+  uid := 0;
+  let b = Graph.builder () in
+  let n = batch in
+  let x = Graph.input b "input" [| n; 3; size; size |] in
+  let stem = conv3x3_block b ~x ~n ~cin:3 ~cout:base ~h:size ~w:size ~stride:1 ~relu:true in
+  let stages = [ (base, 1); (base * 2, 2); (base * 4, 2); (base * 8, 2) ] in
+  let cur = ref stem and ch = ref base and sz = ref size in
+  List.iter
+    (fun (cout, stride) ->
+      (* two basic blocks per stage, first may downsample *)
+      cur := basic_block b ~x:!cur ~n ~cin:!ch ~cout ~h:!sz ~w:!sz ~stride;
+      sz := !sz / stride;
+      ch := cout;
+      cur := basic_block b ~x:!cur ~n ~cin:!ch ~cout ~h:!sz ~w:!sz ~stride:1)
+    stages;
+  let pooled =
+    Graph.add b
+      (Ops.global_avgpool ~name:"gap" ~inp:!cur ~out:"pooled" ~n ~c:!ch
+         ~h:!sz ~w:!sz ())
+  in
+  let logits = classifier b ~x:pooled ~n ~c:!ch ~classes in
+  { name = Fmt.str "R18-b%d" batch; graph = Graph.finish b ~outputs:[ logits ] }
+
+(* ------------------------------------------------------------------ *)
+(* MobileNet-V2 (image, lightweight)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let dep3x3_block b ~x ~n ~c ~h ~w ~stride =
+  let tag = fresh "dw" in
+  let k = Graph.param b (tag ^ ".k") [| c; 3; 3 |] in
+  let bias = Graph.param b (tag ^ ".b") [| c |] in
+  let ho = h / stride and wo = w / stride in
+  let pad_hi = if stride = 2 then 0 else 1 in
+  let xp =
+    Graph.add b
+      (Ops.pad2d ~name:(tag ^ ".pad") ~inp:x ~out:(tag ^ ".xp") ~n ~c ~h ~w
+         ~pad:1 ~pad_hi ())
+  in
+  let y =
+    Graph.add b
+      (Ops.dep ~name:(tag ^ ".dep") ~inp:xp ~ker:k ~out:(tag ^ ".y") ~n ~c
+         ~h:ho ~w:wo ~kh:3 ~kw:3 ~stride ())
+  in
+  let yb =
+    Graph.add b
+      (Ops.bias_add ~name:(tag ^ ".bias") ~inp:y ~bias ~out:(tag ^ ".yb")
+         ~shape:[| n; c; ho; wo |] ~dim:1 ())
+  in
+  Graph.add b
+    (Ops.relu ~name:(tag ^ ".relu") ~inp:yb ~out:(tag ^ ".yr")
+       ~shape:[| n; c; ho; wo |] ())
+
+let inverted_residual b ~x ~n ~cin ~cout ~h ~w ~stride ~expand =
+  let mid = cin * expand in
+  let e =
+    if expand = 1 then x
+    else conv1x1_block b ~x ~n ~cin ~cout:mid ~h ~w ~stride:1 ~relu:true
+  in
+  let d = dep3x3_block b ~x:e ~n ~c:mid ~h ~w ~stride in
+  let ho = h / stride and wo = w / stride in
+  let p = conv1x1_block b ~x:d ~n ~cin:mid ~cout ~h:ho ~w:wo ~stride:1 ~relu:false in
+  if stride = 1 && cin = cout then begin
+    let tag = fresh "ir" in
+    Graph.add b
+      (Ops.add ~name:(tag ^ ".add") ~a:p ~b:x ~out:(tag ^ ".s")
+         ~shape:[| n; cout; ho; wo |] ())
+  end
+  else p
+
+let mobilenet_v2 ?(batch = 1) ?(size = 32) ?(classes = 10) () : spec =
+  uid := 0;
+  let b = Graph.builder () in
+  let n = batch in
+  let x = Graph.input b "input" [| n; 3; size; size |] in
+  let stem = conv3x3_block b ~x ~n ~cin:3 ~cout:8 ~h:size ~w:size ~stride:2 ~relu:true in
+  (* (expand, cout, repeats, first-stride), scaled from the paper's table *)
+  let cfg = [ (1, 8, 1, 1); (4, 12, 2, 2); (4, 16, 2, 2); (4, 24, 2, 1) ] in
+  let cur = ref stem and ch = ref 8 and sz = ref (size / 2) in
+  List.iter
+    (fun (expand, cout, repeats, stride) ->
+      for r = 0 to repeats - 1 do
+        let s = if r = 0 then stride else 1 in
+        cur :=
+          inverted_residual b ~x:!cur ~n ~cin:!ch ~cout ~h:!sz ~w:!sz ~stride:s
+            ~expand;
+        sz := !sz / s;
+        ch := cout
+      done)
+    cfg;
+  let head = conv1x1_block b ~x:!cur ~n ~cin:!ch ~cout:32 ~h:!sz ~w:!sz ~stride:1 ~relu:true in
+  let pooled =
+    Graph.add b
+      (Ops.global_avgpool ~name:"gap" ~inp:head ~out:"pooled" ~n ~c:32 ~h:!sz
+         ~w:!sz ())
+  in
+  let logits = classifier b ~x:pooled ~n ~c:32 ~classes in
+  { name = Fmt.str "MV2-b%d" batch; graph = Graph.finish b ~outputs:[ logits ] }
+
+(* ------------------------------------------------------------------ *)
+(* BERT encoder stack (NLP)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let dense b ~x ~rows ~cin ~cout ~tag =
+  let w = Graph.param b (tag ^ ".w") [| cin; cout |] in
+  let bias = Graph.param b (tag ^ ".b") [| cout |] in
+  let y = Graph.add b (Ops.gmm ~name:(tag ^ ".gmm") ~a:x ~b:w ~out:(tag ^ ".y") ~m:rows ~k:cin ~n:cout ()) in
+  Graph.add b
+    (Ops.bias_add ~name:(tag ^ ".bias") ~inp:y ~bias ~out:(tag ^ ".yb")
+       ~shape:[| rows; cout |] ~dim:1 ())
+
+let layernorm b ~x ~rows ~cols ~tag =
+  let mean =
+    Graph.add b
+      (Ops.rowsum ~name:(tag ^ ".mean") ~inp:x ~out:(tag ^ ".mu")
+         ~lead:[| rows |] ~n:cols
+         ~scale:(1.0 /. float_of_int cols)
+         ())
+  in
+  let var =
+    Graph.add b
+      (Ops.rowvar ~name:(tag ^ ".var") ~inp:x ~mean ~out:(tag ^ ".va")
+         ~lead:[| rows |] ~n:cols ())
+  in
+  Graph.add b
+    (Ops.normalize_rows ~name:(tag ^ ".norm") ~inp:x ~mean ~var
+       ~out:(tag ^ ".ln") ~lead:[| rows |] ~n:cols ())
+
+let softmax_last b ~x ~lead ~n ~tag =
+  let mx =
+    Graph.add b
+      (Ops.rowmax ~name:(tag ^ ".max") ~inp:x ~out:(tag ^ ".mx") ~lead ~n ())
+  in
+  let ex =
+    Graph.add b
+      (Ops.exp_sub ~name:(tag ^ ".exp") ~inp:x ~row:mx ~out:(tag ^ ".ex")
+         ~lead ~n ())
+  in
+  let sum =
+    Graph.add b
+      (Ops.rowsum ~name:(tag ^ ".sum") ~inp:ex ~out:(tag ^ ".sm") ~lead ~n ())
+  in
+  Graph.add b
+    (Ops.div_rows ~name:(tag ^ ".div") ~inp:ex ~row:sum ~out:(tag ^ ".p")
+       ~lead ~n ())
+
+let encoder_layer b ~x ~s ~h ~heads ~ff ~l =
+  let dh = h / heads in
+  let tag name = Fmt.str "l%d.%s" l name in
+  let q = dense b ~x ~rows:s ~cin:h ~cout:h ~tag:(tag "q") in
+  let k = dense b ~x ~rows:s ~cin:h ~cout:h ~tag:(tag "k") in
+  let v = dense b ~x ~rows:s ~cin:h ~cout:h ~tag:(tag "v") in
+  let qh = Graph.add b (Ops.split_heads ~name:(tag "qh") ~inp:q ~out:(tag "qh.t") ~s ~h ~heads ()) in
+  let kh = Graph.add b (Ops.split_heads_t ~name:(tag "kh") ~inp:k ~out:(tag "kh.t") ~s ~h ~heads ()) in
+  let vh = Graph.add b (Ops.split_heads ~name:(tag "vh") ~inp:v ~out:(tag "vh.t") ~s ~h ~heads ()) in
+  let scores =
+    Graph.add b
+      (Ops.bmm ~name:(tag "scores") ~a:qh ~b:kh ~out:(tag "scores.t")
+         ~batch:heads ~m:s ~k:dh ~n:s ())
+  in
+  let scaled =
+    Graph.add b
+      (Ops.scale ~name:(tag "scale") ~inp:scores ~out:(tag "scaled.t")
+         ~shape:[| heads; s; s |]
+         ~factor:(1.0 /. Float.sqrt (float_of_int dh))
+         ())
+  in
+  let probs = softmax_last b ~x:scaled ~lead:[| heads; s |] ~n:s ~tag:(tag "sm") in
+  let ctx =
+    Graph.add b
+      (Ops.bmm ~name:(tag "ctx") ~a:probs ~b:vh ~out:(tag "ctx.t") ~batch:heads
+         ~m:s ~k:s ~n:dh ())
+  in
+  let merged =
+    Graph.add b
+      (Ops.merge_heads ~name:(tag "merge") ~inp:ctx ~out:(tag "merged.t") ~s ~h
+         ~heads ())
+  in
+  let attn = dense b ~x:merged ~rows:s ~cin:h ~cout:h ~tag:(tag "attn_out") in
+  let res1 =
+    Graph.add b
+      (Ops.add ~name:(tag "res1") ~a:x ~b:attn ~out:(tag "res1.t")
+         ~shape:[| s; h |] ())
+  in
+  let ln1 = layernorm b ~x:res1 ~rows:s ~cols:h ~tag:(tag "ln1") in
+  let f1 = dense b ~x:ln1 ~rows:s ~cin:h ~cout:ff ~tag:(tag "ff1") in
+  let g =
+    Graph.add b
+      (Ops.gelu ~name:(tag "gelu") ~inp:f1 ~out:(tag "gelu.t")
+         ~shape:[| s; ff |] ())
+  in
+  let f2 = dense b ~x:g ~rows:s ~cin:ff ~cout:h ~tag:(tag "ff2") in
+  let res2 =
+    Graph.add b
+      (Ops.add ~name:(tag "res2") ~a:ln1 ~b:f2 ~out:(tag "res2.t")
+         ~shape:[| s; h |] ())
+  in
+  layernorm b ~x:res2 ~rows:s ~cols:h ~tag:(tag "ln2")
+
+let bert ?(batch = 1) ?(seq = 32) ?(hidden = 64) ?(heads = 4) ?(layers = 2)
+    ~name () : spec =
+  uid := 0;
+  let b = Graph.builder () in
+  (* embedded token representations; rows fold the batch (standard for
+     dense transformer inference) *)
+  let s = batch * seq in
+  let x = Graph.input b "input" [| s; hidden |] in
+  let cur = ref x in
+  for l = 0 to layers - 1 do
+    cur := encoder_layer b ~x:!cur ~s ~h:hidden ~heads ~ff:(4 * hidden) ~l
+  done;
+  { name = Fmt.str "%s-b%d" name batch; graph = Graph.finish b ~outputs:[ !cur ] }
+
+let bert_base ?(batch = 1) () =
+  bert ~batch ~seq:32 ~hidden:64 ~heads:4 ~layers:2 ~name:"BB" ()
+
+let bert_tiny ?(batch = 1) () =
+  bert ~batch ~seq:16 ~hidden:32 ~heads:2 ~layers:1 ~name:"BT" ()
+
+(* ------------------------------------------------------------------ *)
+(* ResNet3D-18 (video)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let conv3d_block b ~x ~n ~cin ~cout ~d ~h ~w ~stride ~relu =
+  let tag = fresh "v3" in
+  let k = Graph.param b (tag ^ ".k") [| cout; cin; 3; 3; 3 |] in
+  let bias = Graph.param b (tag ^ ".b") [| cout |] in
+  let d' = d / stride and h' = h / stride and w' = w / stride in
+  let pad_hi = if stride = 2 then 0 else 1 in
+  let xp =
+    Graph.add b
+      (Ops.pad3d ~name:(tag ^ ".pad") ~inp:x ~out:(tag ^ ".xp") ~n ~c:cin ~d
+         ~h ~w ~pad:1 ~pad_hi ())
+  in
+  let y =
+    Graph.add b
+      (Ops.c3d ~name:(tag ^ ".conv") ~inp:xp ~ker:k ~out:(tag ^ ".y") ~n
+         ~i:cin ~o:cout ~d:d' ~h:h' ~w:w' ~kd:3 ~kh:3 ~kw:3 ~stride ())
+  in
+  let yb =
+    Graph.add b
+      (Ops.bias_add ~name:(tag ^ ".bias") ~inp:y ~bias ~out:(tag ^ ".yb")
+         ~shape:[| n; cout; d'; h'; w' |] ~dim:1 ())
+  in
+  if relu then
+    Graph.add b
+      (Ops.relu ~name:(tag ^ ".relu") ~inp:yb ~out:(tag ^ ".yr")
+         ~shape:[| n; cout; d'; h'; w' |] ())
+  else yb
+
+let basic_block3d b ~x ~n ~cin ~cout ~d ~h ~w ~stride =
+  let y1 = conv3d_block b ~x ~n ~cin ~cout ~d ~h ~w ~stride ~relu:true in
+  let d' = d / stride and h' = h / stride and w' = w / stride in
+  let y2 = conv3d_block b ~x:y1 ~n ~cin:cout ~cout ~d:d' ~h:h' ~w:w' ~stride:1 ~relu:false in
+  let skip =
+    if stride = 1 && cin = cout then x
+    else begin
+      let tag = fresh "v1" in
+      let k = Graph.param b (tag ^ ".k") [| cout; cin; 1; 1; 1 |] in
+      Graph.add b
+        (Ops.c3d ~name:(tag ^ ".conv") ~inp:x ~ker:k ~out:(tag ^ ".y") ~n
+           ~i:cin ~o:cout ~d:d' ~h:h' ~w:w' ~kd:1 ~kh:1 ~kw:1 ~stride ~in_d:d
+           ~in_h:h ~in_w:w ())
+    end
+  in
+  let tag = fresh "vres" in
+  let s =
+    Graph.add b
+      (Ops.add ~name:(tag ^ ".add") ~a:y2 ~b:skip ~out:(tag ^ ".s")
+         ~shape:[| n; cout; d'; h'; w' |] ())
+  in
+  Graph.add b
+    (Ops.relu ~name:(tag ^ ".relu") ~inp:s ~out:(tag ^ ".r")
+       ~shape:[| n; cout; d'; h'; w' |] ())
+
+let resnet3d_18 ?(batch = 1) ?(size = 16) ?(depth = 8) ?(base = 8)
+    ?(classes = 10) () : spec =
+  uid := 0;
+  let b = Graph.builder () in
+  let n = batch in
+  let x = Graph.input b "input" [| n; 3; depth; size; size |] in
+  let stem =
+    conv3d_block b ~x ~n ~cin:3 ~cout:base ~d:depth ~h:size ~w:size ~stride:1
+      ~relu:true
+  in
+  let cur = ref stem and ch = ref base and sz = ref size and dp = ref depth in
+  List.iter
+    (fun (cout, stride) ->
+      cur :=
+        basic_block3d b ~x:!cur ~n ~cin:!ch ~cout ~d:!dp ~h:!sz ~w:!sz ~stride;
+      dp := !dp / stride;
+      sz := !sz / stride;
+      ch := cout;
+      cur := basic_block3d b ~x:!cur ~n ~cin:!ch ~cout ~d:!dp ~h:!sz ~w:!sz ~stride:1)
+    [ (base, 1); (base * 2, 2); (base * 4, 2) ];
+  let pooled =
+    Graph.add b
+      (Ops.global_avgpool3d ~name:"gap" ~inp:!cur ~out:"pooled" ~n ~c:!ch
+         ~d:!dp ~h:!sz ~w:!sz ())
+  in
+  let logits = classifier b ~x:pooled ~n ~c:!ch ~classes in
+  { name = Fmt.str "R3D-b%d" batch; graph = Graph.finish b ~outputs:[ logits ] }

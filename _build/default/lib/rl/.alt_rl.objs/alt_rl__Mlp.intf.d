@@ -1,0 +1,1 @@
+lib/rl/mlp.mli:

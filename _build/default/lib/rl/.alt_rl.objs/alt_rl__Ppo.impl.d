@@ -1,0 +1,1 @@
+lib/rl/ppo.ml: Array Float List Mlp Random

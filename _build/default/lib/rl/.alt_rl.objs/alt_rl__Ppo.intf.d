@@ -1,0 +1,1 @@
+lib/rl/ppo.mli: Mlp Random

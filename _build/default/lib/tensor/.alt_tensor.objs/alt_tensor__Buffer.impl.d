@@ -1,0 +1,1 @@
+lib/tensor/buffer.ml: Array Float Layout Random Shape

@@ -1,0 +1,1 @@
+lib/tensor/buffer.mli: Layout Shape

@@ -1,0 +1,1 @@
+lib/tensor/ixexpr.ml: Fmt Int List Stdlib Var

@@ -1,0 +1,1 @@
+lib/tensor/ixexpr.mli: Fmt Var

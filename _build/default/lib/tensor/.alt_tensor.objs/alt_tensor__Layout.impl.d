@@ -1,0 +1,1 @@
+lib/tensor/layout.ml: Array Fmt Ixexpr List Option Shape Var

@@ -1,0 +1,1 @@
+lib/tensor/shape.ml: Array Fmt List

@@ -1,0 +1,1 @@
+lib/tensor/shape.mli: Fmt

@@ -1,0 +1,1 @@
+lib/tensor/var.ml: Fmt Int Map Set

@@ -1,0 +1,1 @@
+lib/tensor/var.mli: Fmt Map Set

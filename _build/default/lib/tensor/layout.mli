@@ -1,0 +1,98 @@
+(** Data layout state and layout primitives (paper Section 4.1).
+
+    A layout records a tensor's logical shape plus a cached sequence of
+    primitives.  Basic primitives ([split]/[reorder]/[fuse], Table 1)
+    perform one-to-one transformations; advanced primitives ([unfold] for
+    overlapped tiling and [pad] for alignment, Section 4.1.2) may expand
+    data.  [store_at] couples two tensors and lives at the graph level
+    ({!Alt_graph.Placement}).  Physical buffers are row-major over
+    [physical_shape]. *)
+
+exception Layout_error of string
+
+type prim =
+  | Split of { dim : int; factors : int list }
+  | Reorder of int array
+  | Fuse of { dim : int; count : int }
+  | Unfold of { dim : int; tile : int; stride : int }
+  | Pad of { dim : int; lo : int; hi : int }
+
+type t
+
+val create : Shape.t -> t
+(** Identity layout of a logical shape. *)
+
+val logical_shape : t -> Shape.t
+val physical_shape : t -> Shape.t
+val prims : t -> prim list
+val is_trivial : t -> bool
+
+val has_advanced : t -> bool
+(** True if the primitive sequence contains [unfold] or [pad] — the
+    "non-trivial advanced primitives" test of Algorithm 1. *)
+
+val invertible : t -> bool
+(** True if the logical->physical index map is a bijection (no advanced
+    primitives); required of output-tensor layouts. *)
+
+val apply : t -> prim -> t
+
+val split : t -> dim:int -> factors:int list -> t
+(** Factors must multiply to the current extent of [dim]. *)
+
+val reorder : t -> int array -> t
+(** [reorder t perm]: new dim [i] is old dim [perm.(i)]. *)
+
+val fuse : t -> dim:int -> count:int -> t
+val unfold : t -> dim:int -> tile:int -> stride:int -> t
+val pad : t -> dim:int -> lo:int -> hi:int -> t
+
+val equal : t -> t -> bool
+val pp : t Fmt.t
+val pp_prim : prim Fmt.t
+
+type window = Var.t -> int option
+(** Maps sliding-window variables (e.g. a convolution's output spatial
+    iterators) to their constant stride V; used by the unfold rewrite. *)
+
+val no_window : window
+
+val forward_exprs :
+  ?bounds:Ixexpr.bounds -> ?window:window -> t -> Ixexpr.t array ->
+  Ixexpr.t array
+(** Rewrites logical access expressions to physical ones (Table 1); for
+    [unfold] the access must have the sliding form [V*i + r] with window
+    variable [i] (Eq. (1)).  Raises {!Layout_error} otherwise. *)
+
+val inverse_exprs : ?bounds:Ixexpr.bounds -> t -> Ixexpr.t array -> Ixexpr.t array
+(** Physical index expressions -> logical; requires [invertible].  This is
+    the S_Y^{-1} used when reconstructing a producer's loop nest. *)
+
+val logical_of_physical :
+  ?bounds:Ixexpr.bounds -> t -> Ixexpr.t array ->
+  Ixexpr.t array * (Ixexpr.t * int) list
+(** Physical index expressions -> logical, total even for [unfold] and
+    [pad]; also returns in-bounds conditions [(expr, extent)] meaning
+    [0 <= expr < extent] that guard padded / overhanging positions.  Used to
+    generate conversion-operator programs. *)
+
+val eval_fwd : t -> int array -> int array
+(** Concrete logical index -> physical index; rejects layouts with
+    [unfold] (one-to-many). *)
+
+val pack : t -> float array -> float array
+(** Materializes the physical buffer from logical row-major data (zero
+    fills padding; duplicates overlapped tiles). *)
+
+val unpack : t -> float array -> float array
+(** Recovers logical row-major data from a physical buffer. *)
+
+val num_physical_elements : t -> int
+
+val expansion_ratio : t -> float
+(** Physical elements / logical elements (>= 1; > 1 for unfold and pad). *)
+
+val of_prims : Shape.t -> prim list -> t
+(** Replays a primitive sequence onto a fresh layout of [shape] (validated
+    step by step) — used by layout propagation to copy a source tensor's
+    primitives onto a same-shaped tensor. *)

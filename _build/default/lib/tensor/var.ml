@@ -1,0 +1,36 @@
+(* Loop / index variables with globally unique identifiers.
+
+   Variables are the atoms of the symbolic index algebra ([Ixexpr]) and of
+   lowered loop nests.  Identity is the integer [id]; [name] is only used
+   for printing.  Fresh identifiers come from a global counter, which keeps
+   substitution and environment lookup trivially correct across modules. *)
+
+type t = { id : int; name : string }
+
+let counter = ref 0
+
+let fresh name =
+  incr counter;
+  { id = !counter; name }
+
+let id v = v.id
+let name v = v.name
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let hash v = v.id
+
+let pp ppf v = Fmt.pf ppf "%s#%d" v.name v.id
+
+let renamed v name = { v with name }
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

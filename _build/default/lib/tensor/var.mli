@@ -1,0 +1,19 @@
+(** Loop / index variables with globally unique identifiers. *)
+
+type t = { id : int; name : string }
+
+val fresh : string -> t
+(** [fresh name] returns a variable with a globally unique [id]. *)
+
+val id : t -> int
+val name : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : t Fmt.t
+
+val renamed : t -> string -> t
+(** [renamed v name] is [v] with a different display name (same identity). *)
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

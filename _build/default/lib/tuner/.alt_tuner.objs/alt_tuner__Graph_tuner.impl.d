@@ -1,0 +1,1 @@
+lib/tuner/graph_tuner.ml: Alt_graph Alt_ir Alt_machine Alt_tensor Fmt Hashtbl List Measure String Templates Tuner

@@ -1,0 +1,1 @@
+lib/tuner/graph_tuner.mli: Alt_graph Alt_ir Alt_machine Tuner

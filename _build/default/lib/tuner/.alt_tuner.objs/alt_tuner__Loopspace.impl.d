@@ -1,0 +1,1 @@
+lib/tuner/loopspace.ml: Alt_ir Alt_tensor Array Float List Random

@@ -1,0 +1,1 @@
+lib/tuner/loopspace.mli: Alt_ir Alt_tensor Random

@@ -1,0 +1,1 @@
+lib/tuner/measure.ml: Alt_graph Alt_ir Alt_machine Alt_tensor Array Float Fmt List

@@ -1,0 +1,1 @@
+lib/tuner/measure.mli: Alt_graph Alt_ir Alt_machine

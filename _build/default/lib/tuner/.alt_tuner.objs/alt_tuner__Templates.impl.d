@@ -1,0 +1,1 @@
+lib/tuner/templates.ml: Alt_graph Alt_ir Alt_tensor Array Float Fmt Fun List

@@ -1,0 +1,1 @@
+lib/tuner/templates.mli: Alt_graph Alt_ir Alt_tensor

@@ -1,0 +1,1 @@
+lib/tuner/tuner.ml: Alt_costmodel Alt_graph Alt_ir Alt_machine Alt_rl Alt_tensor Array Float Fmt Fun Hashtbl List Logs Loopspace Measure Random Templates

@@ -1,0 +1,1 @@
+lib/tuner/tuner.mli: Alt_graph Alt_ir Alt_machine Alt_rl Measure

@@ -1,0 +1,180 @@
+(* End-to-end graph tuning (paper Sections 6 and 7.2).
+
+   The joint stage tunes each complex operator sequentially in topological
+   order; identical tasks (same operator signature) are deduplicated and
+   share one tuning run, and the total measurement budget is split across
+   the unique tasks.  Each task is tuned *together with* the elementwise
+   chain that will be fused after it, so fusion conflicts are visible to
+   the tuner.  The resulting per-operator layout choices are propagated
+   (Algorithm 1), conversions are inserted where the constraints demand,
+   and the compiled graph is executed for the end-to-end latency. *)
+
+module Shape = Alt_tensor.Shape
+module Layout = Alt_tensor.Layout
+module Opdef = Alt_ir.Opdef
+module Schedule = Alt_ir.Schedule
+module Machine = Alt_machine.Machine
+module Graph = Alt_graph.Graph
+module Propagate = Alt_graph.Propagate
+module Compile = Alt_graph.Compile
+
+type gsystem =
+  | Gvendor
+  | Gautotvm
+  | Gansor
+  | Galt
+  | Galt_ol (* no joint stage; fixed channels-last layouts; fusion on *)
+  | Galt_wp (* joint tuning but only adjacent propagation; fusion lost *)
+
+let gsystem_name = function
+  | Gvendor -> "vendor"
+  | Gautotvm -> "autotvm"
+  | Gansor -> "ansor"
+  | Galt -> "alt"
+  | Galt_ol -> "alt-ol"
+  | Galt_wp -> "alt-wp"
+
+(* Structural signature of a tuning task for deduplication. *)
+let signature (op : Opdef.t) (fused : Opdef.t list) : string =
+  let kind_tag =
+    match op.Opdef.kind with
+    | Opdef.Conv c ->
+        Fmt.str "conv:%s"
+          (String.concat ","
+             (List.map
+                (fun (s : Opdef.conv_spatial) ->
+                  Fmt.str "%d.%d.%d" s.Opdef.kernel s.Opdef.stride s.Opdef.dilation)
+                c.spatials))
+    | Opdef.Matmul m -> if m.batched then "bmm" else "gmm"
+    | Opdef.Simple -> "simple"
+  in
+  Fmt.str "%s|out=%a|in=%s|chain=%d" kind_tag Shape.pp op.Opdef.out_shape
+    (String.concat ";"
+       (List.map (fun (_, s) -> Shape.to_string s) op.Opdef.inputs))
+    (List.length fused)
+
+(* The elementwise chain that can fuse after [node] (structural: single
+   consumer, Assign, same shape, not complex). *)
+let fusable_chain (g : Graph.t) (node : Graph.node) : Graph.node list =
+  let rec walk acc cur =
+    match Graph.consumers g cur with
+    | [ c ]
+      when c.Graph.op.Opdef.combiner = Opdef.Assign
+           && (not c.Graph.op.Opdef.complex)
+           && Shape.equal c.Graph.op.Opdef.out_shape
+                node.Graph.op.Opdef.out_shape ->
+        walk (acc @ [ c ]) c.Graph.op.Opdef.out_name
+    | _ -> acc
+  in
+  walk [] node.Graph.op.Opdef.out_name
+
+type tuned_graph = {
+  system : gsystem;
+  compiled : Compile.compiled;
+  choices : (string * Propagate.choice) list;
+  schedules : (string * Schedule.t) list;
+  tasks_tuned : int;
+  measurements : int;
+  per_task : (string * Tuner.result) list;
+}
+
+let tune_graph ?(seed = 0) ?(levels = 1) ?(max_points = 30_000)
+    ~(system : gsystem) ~(machine : Machine.t) ~(budget : int) (g : Graph.t) :
+    tuned_graph =
+  let complex = Graph.complex_nodes g in
+  (* deduplicate by signature *)
+  let uniq : (string, Graph.node * Graph.node list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let order = ref [] in
+  List.iter
+    (fun (n : Graph.node) ->
+      let chain = fusable_chain g n in
+      let s = signature n.Graph.op (List.map (fun c -> c.Graph.op) chain) in
+      if not (Hashtbl.mem uniq s) then begin
+        Hashtbl.replace uniq s (n, chain);
+        order := s :: !order
+      end)
+    complex;
+  let sigs = List.rev !order in
+  let per_task_budget = max 8 (budget / max 1 (List.length sigs)) in
+  (* propagation mode: ALT-WP loses fusion, so tune without the chain *)
+  let mode =
+    match system with Galt_wp -> Propagate.Adjacent | _ -> Propagate.Full
+  in
+  let tuned : (string, Tuner.result) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let node, chain = Hashtbl.find uniq s in
+      let fused_ops =
+        match mode with
+        | Propagate.Adjacent | Propagate.Off -> []
+        | Propagate.Full -> List.map (fun (c : Graph.node) -> c.Graph.op) chain
+      in
+      let task =
+        Measure.make_task ~fused:fused_ops ~max_points ~machine node.Graph.op
+      in
+      let r =
+        match system with
+        | Gvendor -> Tuner.tune_op ~seed ~system:Tuner.Vendor ~budget:per_task_budget task
+        | Gautotvm ->
+            (* NeoCPU-style: fixed blocked layout, restricted loop space *)
+            Tuner.tune_loop_only ~seed ~explorer:Tuner.Restricted
+              ~budget:per_task_budget
+              ~layouts:
+                [
+                  Templates.blocked_choice node.Graph.op
+                    ~block:(2 * machine.Machine.lanes);
+                ]
+              task
+        | Gansor ->
+            Tuner.tune_loop_only ~seed ~explorer:Tuner.Guided
+              ~budget:per_task_budget
+              ~layouts:
+                [
+                  Templates.blocked_choice node.Graph.op
+                    ~block:(2 * machine.Machine.lanes);
+                ]
+              task
+        | Galt_ol ->
+            Tuner.tune_loop_only ~seed ~explorer:Tuner.Guided
+              ~budget:per_task_budget
+              ~layouts:[ Templates.channels_last_choice node.Graph.op ]
+              task
+        | Galt | Galt_wp ->
+            Tuner.tune_alt ~seed ~levels
+              ~joint_budget:(per_task_budget * 4 / 10)
+              ~loop_budget:(per_task_budget * 6 / 10)
+              task
+      in
+      Hashtbl.replace tuned s r)
+    sigs;
+  (* assemble choices and schedules for every complex node *)
+  let choices = ref [] and schedules = ref [] in
+  List.iter
+    (fun (n : Graph.node) ->
+      let chain = fusable_chain g n in
+      let s = signature n.Graph.op (List.map (fun c -> c.Graph.op) chain) in
+      let r = Hashtbl.find tuned s in
+      choices := (n.Graph.op.Opdef.name, r.Tuner.best_choice) :: !choices;
+      schedules := (n.Graph.op.Opdef.name, r.Tuner.best_schedule) :: !schedules)
+    complex;
+  let plan = Propagate.plan ~mode g ~choices:!choices in
+  let compiled = Compile.compile ~schedules:!schedules g plan in
+  {
+    system;
+    compiled;
+    choices = !choices;
+    schedules = !schedules;
+    tasks_tuned = List.length sigs;
+    measurements =
+      Hashtbl.fold (fun _ (r : Tuner.result) a -> a + r.Tuner.spent) tuned 0;
+    per_task =
+      List.map (fun s -> (s, Hashtbl.find tuned s)) sigs;
+  }
+
+(* Run the tuned graph end to end on the machine model. *)
+let run ?(max_points = 60_000) ?(seed = 5) (tg : tuned_graph)
+    ~(machine : Machine.t) : Compile.exec_result =
+  let feeds = Graph.random_feeds ~seed tg.compiled.Compile.graph in
+  Compile.execute ~machine ~max_points tg.compiled ~feeds

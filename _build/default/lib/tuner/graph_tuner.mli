@@ -1,0 +1,40 @@
+(** End-to-end graph tuning (Sections 6 and 7.2): per-complex-operator
+    tuning in topological order with task deduplication and budget
+    splitting, then propagation (Algorithm 1), compilation and execution. *)
+
+module Schedule = Alt_ir.Schedule
+module Machine = Alt_machine.Machine
+module Graph = Alt_graph.Graph
+module Propagate = Alt_graph.Propagate
+module Compile = Alt_graph.Compile
+
+(** Systems of the end-to-end benchmark (Fig. 10). *)
+type gsystem =
+  | Gvendor
+  | Gautotvm
+  | Gansor
+  | Galt
+  | Galt_ol (** no joint stage; fixed channels-last layouts; fusion on *)
+  | Galt_wp (** joint tuning, adjacent-only propagation; fusion lost *)
+
+val gsystem_name : gsystem -> string
+
+type tuned_graph = {
+  system : gsystem;
+  compiled : Compile.compiled;
+  choices : (string * Propagate.choice) list;
+  schedules : (string * Schedule.t) list;
+  tasks_tuned : int; (** unique tuning tasks after deduplication *)
+  measurements : int;
+  per_task : (string * Tuner.result) list;
+}
+
+val tune_graph :
+  ?seed:int -> ?levels:int -> ?max_points:int -> system:gsystem ->
+  machine:Machine.t -> budget:int -> Graph.t -> tuned_graph
+
+val run :
+  ?max_points:int -> ?seed:int -> tuned_graph -> machine:Machine.t ->
+  Compile.exec_result
+(** Execute the tuned graph on random feeds, returning the simulated
+    end-to-end latency and per-stage profiles. *)

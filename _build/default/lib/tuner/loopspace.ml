@@ -1,0 +1,108 @@
+(* Loop tuning space: a continuous vector in (0,1)^k decoded into a
+   Schedule (Section 5.1 "loop space", following FlexTensor/Ansor).
+
+   The space depends on the output *physical* shape, so changing the layout
+   reconstructs it — exactly the coupling the paper's two-stage design
+   works around.  Because points are continuous and decoded with the
+   divisor-rounding function R, a point sampled for one layout remains
+   decodable after a layout change (it just decodes differently), which is
+   how the cross-exploration architecture keeps walking. *)
+
+module Shape = Alt_tensor.Shape
+module Layout = Alt_tensor.Layout
+module Opdef = Alt_ir.Opdef
+module Schedule = Alt_ir.Schedule
+
+type t = {
+  phys : int array;
+  reds : int array;
+  restricted : bool;
+      (* AutoTVM-like baselines: only the two innermost spatial dims are
+         tunable and reduction placement is fixed *)
+}
+
+let of_layout ?(restricted = false) (op : Opdef.t)
+    (out_layout : Layout.t) : t =
+  {
+    phys = Layout.physical_shape out_layout;
+    reds = Array.of_list (List.map snd op.Opdef.reduce);
+    restricted;
+  }
+
+(* vector length: one tile knob per spatial dim + one per reduction +
+   [reduce_outer; vectorize; parallel; unroll] *)
+let dim t = Array.length t.phys + Array.length t.reds + 4
+
+let clamp01 x = Float.min 0.999 (Float.max 0.001 x)
+
+let decode (t : t) (a : float array) : Schedule.t =
+  if Array.length a <> dim t then invalid_arg "Loopspace.decode: length";
+  let rank = Array.length t.phys in
+  let nred = Array.length t.reds in
+  let s = ref (Schedule.default ~rank ~nred) in
+  for d = 0 to rank - 1 do
+    let tunable = (not t.restricted) || d >= rank - 2 in
+    if tunable then begin
+      let f =
+        Shape.round_to_divisor t.phys.(d)
+          (max 1
+             (int_of_float
+                (Float.round (clamp01 a.(d) *. float_of_int t.phys.(d)))))
+      in
+      s := Schedule.split !s ~dim:d ~inner:f
+    end
+  done;
+  for j = 0 to nred - 1 do
+    if not t.restricted then begin
+      let f =
+        Shape.round_to_divisor t.reds.(j)
+          (max 1
+             (int_of_float
+                (Float.round (clamp01 a.(rank + j) *. float_of_int t.reds.(j)))))
+      in
+      s := Schedule.split_reduce !s ~index:j ~inner:f
+    end
+  done;
+  let base = rank + nred in
+  let reduce_outer = if t.restricted then false else a.(base) > 0.5 in
+  s := Schedule.reorder_reduce_outer !s reduce_outer;
+  if a.(base + 1) > 0.3 then s := Schedule.vectorize !s;
+  let par = int_of_float (Float.round (clamp01 a.(base + 2) *. 3.0)) in
+  s := Schedule.parallel !s par;
+  if a.(base + 3) > 0.5 then s := Schedule.unroll !s;
+  !s
+
+let random_point ?(rng = Random.State.make_self_init ()) t =
+  Array.init (dim t) (fun _ -> Random.State.float rng 1.0)
+
+let mutate ?(rng = Random.State.make_self_init ()) ?(rate = 0.3) t
+    (a : float array) =
+  Array.mapi
+    (fun i x ->
+      ignore i;
+      if Random.State.float rng 1.0 < rate then
+        clamp01 (x +. (Random.State.float rng 0.5 -. 0.25))
+      else x)
+    (if Array.length a = dim t then a else random_point ~rng t)
+
+(* A sensible default point: small spatial tiles with the innermost dim
+   fully inner (vectorizable), no reduction split, register-blocked
+   reduction order, vectorized, parallel, unrolled.  Used as the first
+   candidate whenever a layout's loop space is explored from scratch, so a
+   candidate layout's potential is estimated from a competent schedule
+   rather than from pure noise. *)
+let heuristic_point (t : t) : float array =
+  let rank = Array.length t.phys in
+  let nred = Array.length t.reds in
+  let a = Array.make (dim t) 0.01 in
+  (* innermost physical dim fully inner *)
+  if rank > 0 then a.(rank - 1) <- 0.99;
+  (* second innermost: small tile *)
+  if rank > 1 then
+    a.(rank - 2) <- Float.min 0.99 (4.0 /. float_of_int t.phys.(rank - 2));
+  let base = rank + nred in
+  a.(base) <- 0.9 (* reduce_outer *);
+  a.(base + 1) <- 0.9 (* vectorize *);
+  a.(base + 2) <- 0.9 (* parallel *);
+  a.(base + 3) <- 0.9 (* unroll *);
+  a

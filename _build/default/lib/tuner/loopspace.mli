@@ -1,0 +1,28 @@
+(** Loop tuning space: continuous points in (0,1)^k decoded into schedules.
+    The space depends on the output physical shape, so it is reconstructed
+    whenever the layout changes — the coupling ALT's two-stage design
+    works around. *)
+
+module Layout = Alt_tensor.Layout
+module Opdef = Alt_ir.Opdef
+module Schedule = Alt_ir.Schedule
+
+type t
+
+val of_layout : ?restricted:bool -> Opdef.t -> Layout.t -> t
+(** [restricted] models AutoTVM-like template spaces (only the two
+    innermost spatial dims tunable). *)
+
+val dim : t -> int
+(** Point dimension: one tile knob per spatial dim and per reduction, plus
+    reduce-order / vectorize / parallel / unroll. *)
+
+val decode : t -> float array -> Schedule.t
+(** Always produces a legal schedule (divisor rounding). *)
+
+val random_point : ?rng:Random.State.t -> t -> float array
+val mutate : ?rng:Random.State.t -> ?rate:float -> t -> float array -> float array
+
+val heuristic_point : t -> float array
+(** A competent default (vectorized innermost, parallel outer, register
+    blocking) used as the first candidate in a fresh space. *)

@@ -1,0 +1,103 @@
+(* Measurement harness: one "on-device measurement" of the tuning loop.
+
+   A task fixes the operator (plus the elementwise chain that will be fused
+   with it in the end-to-end flow), the machine model, random input data,
+   and the per-measurement simulation point budget.  Candidates that fail
+   to lower (illegal layout/schedule combinations) report [None] and cost
+   no budget, mirroring real tuners that filter invalid configs before
+   measuring. *)
+
+module Shape = Alt_tensor.Shape
+module Layout = Alt_tensor.Layout
+module Buffer = Alt_tensor.Buffer
+module Opdef = Alt_ir.Opdef
+module Schedule = Alt_ir.Schedule
+module Lower = Alt_ir.Lower
+module Program = Alt_ir.Program
+module Machine = Alt_machine.Machine
+module Profiler = Alt_machine.Profiler
+module Propagate = Alt_graph.Propagate
+
+type task = {
+  op : Opdef.t;
+  fused : Opdef.t list;
+  machine : Machine.t;
+  max_points : int;
+  feeds : (string * float array) list; (* logical data for all inputs *)
+  mutable spent : int; (* measurements consumed *)
+}
+
+(* All external input tensors of the task (op inputs + fused extras). *)
+let task_inputs (op : Opdef.t) (fused : Opdef.t list) =
+  let produced = ref [ op.Opdef.out_name ] in
+  let acc = ref op.Opdef.inputs in
+  List.iter
+    (fun (f : Opdef.t) ->
+      List.iter
+        (fun (n, s) ->
+          if (not (List.mem n !produced)) && not (List.mem_assoc n !acc) then
+            acc := !acc @ [ (n, s) ])
+        f.Opdef.inputs;
+      produced := f.Opdef.out_name :: !produced)
+    fused;
+  !acc
+
+let make_task ?(fused = []) ?(max_points = 40_000) ?(seed = 11) ~machine op =
+  let feeds =
+    List.mapi
+      (fun i (n, s) -> (n, Buffer.random ~seed:(seed + i) s))
+      (task_inputs op fused)
+  in
+  { op; fused; machine; max_points; feeds; spent = 0 }
+
+(* Build the program for a candidate; None if the combination is illegal. *)
+let program_of (t : task) (choice : Propagate.choice) (schedule : Schedule.t) :
+    Program.t option =
+  let layouts name =
+    match List.assoc_opt name choice.Propagate.in_layouts with
+    | Some l -> l
+    | None -> (
+        match List.assoc_opt name (task_inputs t.op t.fused) with
+        | Some s -> Layout.create s
+        | None -> invalid_arg (Fmt.str "Measure: unknown tensor %s" name))
+  in
+  let fused =
+    List.map
+      (fun (f : Opdef.t) ->
+        {
+          Lower.fop = f;
+          fout_layout =
+            Layout.of_prims f.Opdef.out_shape
+              (Layout.prims choice.Propagate.out_layout);
+        })
+      t.fused
+  in
+  try
+    Some
+      (Lower.lower ~op:t.op ~layouts ~out_layout:choice.Propagate.out_layout
+         ~fused ~schedule ())
+  with Lower.Lower_error _ | Layout.Layout_error _ | Invalid_argument _ -> None
+
+let measure (t : task) (choice : Propagate.choice) (schedule : Schedule.t) :
+    Profiler.result option =
+  match program_of t choice schedule with
+  | None -> None
+  | Some prog ->
+      t.spent <- t.spent + 1;
+      let bufs =
+        Array.map
+          (fun (s : Program.slot) ->
+            match s.Program.role with
+            | Program.Input ->
+                Layout.pack s.Program.layout
+                  (List.assoc s.Program.sname t.feeds)
+            | Program.Output | Program.Temp ->
+                Array.make (Layout.num_physical_elements s.Program.layout) 0.0)
+          prog.Program.slots
+      in
+      Some
+        (Profiler.run ~machine:t.machine ~max_points:t.max_points prog ~bufs)
+
+let latency_of = function
+  | Some (r : Profiler.result) -> r.Profiler.latency_ms
+  | None -> Float.infinity

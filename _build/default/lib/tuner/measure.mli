@@ -1,0 +1,33 @@
+(** Measurement harness: one "on-device measurement" of the tuning loop is
+    one profiler run of the candidate program on the machine simulator. *)
+
+module Opdef = Alt_ir.Opdef
+module Schedule = Alt_ir.Schedule
+module Program = Alt_ir.Program
+module Machine = Alt_machine.Machine
+module Profiler = Alt_machine.Profiler
+module Propagate = Alt_graph.Propagate
+
+type task = {
+  op : Opdef.t;
+  fused : Opdef.t list;
+      (** elementwise chain co-tuned with the operator (end-to-end flow) *)
+  machine : Machine.t;
+  max_points : int; (** per-measurement simulation budget *)
+  feeds : (string * float array) list;
+  mutable spent : int; (** measurements consumed *)
+}
+
+val make_task :
+  ?fused:Opdef.t list -> ?max_points:int -> ?seed:int ->
+  machine:Machine.t -> Opdef.t -> task
+
+val program_of : task -> Propagate.choice -> Schedule.t -> Program.t option
+(** Lower a candidate; [None] when the combination is illegal (costs no
+    budget, like real tuners filtering invalid configs). *)
+
+val measure : task -> Propagate.choice -> Schedule.t -> Profiler.result option
+(** Lower, pack inputs, simulate.  Consumes one unit of budget. *)
+
+val latency_of : Profiler.result option -> float
+(** Latency in ms, or infinity for failed candidates. *)

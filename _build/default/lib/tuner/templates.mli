@@ -1,0 +1,63 @@
+(** Layout tuning templates (Section 5.1): a handful of tunable split
+    parameters per complex operator, with the reorder fixed by the paper's
+    analysis and the input tensor's unfolded dimensions tied to the output
+    tiling.  Also provides the fixed layout choices used by baselines and
+    the motivation experiments. *)
+
+module Shape = Alt_tensor.Shape
+module Layout = Alt_tensor.Layout
+module Opdef = Alt_ir.Opdef
+module Propagate = Alt_graph.Propagate
+
+(** Generic tiled-layout construction. *)
+
+type part = Whole of int | Outer of int | Mid of int | Inner of int
+
+type dim_op =
+  | Dsplit of int list (** inner factors; the outermost part is derived *)
+  | Dunfold of int * int (** tile, stride *)
+
+val make : Shape.t -> (int * dim_op) list -> part list -> Layout.t
+(** Tile/unfold logical dims and permute the resulting parts. *)
+
+(** {1 Templates} *)
+
+type knob = { kname : string; extent : int }
+
+type t = {
+  op : Opdef.t;
+  knobs : knob array;
+  decode : float array -> Propagate.choice;
+      (** actions in (0,1), one per knob; factors via F = R(D*a) *)
+}
+
+exception Unsupported
+
+val conv_template : ?levels:int -> Opdef.t -> t
+(** C2D-family template: (spatial tiles, o_t, i_t, i'_t, o'_t); the input
+    is unfolded with tiles derived from the output tiling.  [levels = 2]
+    adds a second tiling level (Fig. 13). *)
+
+val matmul_template : ?levels:int -> Opdef.t -> t
+(** GMM/BMM template: (m_t, k_t, n_t). *)
+
+val for_op : ?levels:int -> Opdef.t -> t option
+(** Dispatch on the operator kind; [None] for simple operators. *)
+
+(** {1 Fixed layout choices} *)
+
+val trivial_choice : Opdef.t -> Propagate.choice
+(** Identity layouts (NOHW / KN). *)
+
+val channels_last_choice : Opdef.t -> Propagate.choice
+(** NHWO / NDHWO / NWO family, HWIO-style weights. *)
+
+val hwon_choice : Opdef.t -> Propagate.choice
+(** Spatial-first DSP layout of Fig. 1. *)
+
+val blocked_choice : Opdef.t -> block:int -> Propagate.choice
+(** NCHWc-style fixed channel blocking (NeoCPU / vendor layouts). *)
+
+val gmm_kn : Opdef.t -> Propagate.choice
+val gmm_nk : Opdef.t -> Propagate.choice
+val gmm_nkn : ?block:int -> Opdef.t -> Propagate.choice

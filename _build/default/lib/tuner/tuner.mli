@@ -1,0 +1,62 @@
+(** The auto-tuning module (Section 5): ALT's two-stage joint tuner
+    (cross-exploration joint stage + loop-only stage) and the baseline
+    systems of the evaluation. *)
+
+module Schedule = Alt_ir.Schedule
+module Machine = Alt_machine.Machine
+module Profiler = Alt_machine.Profiler
+module Propagate = Alt_graph.Propagate
+module Ppo = Alt_rl.Ppo
+
+type result = {
+  best_latency : float; (** ms; infinity if nothing measured *)
+  best_choice : Propagate.choice;
+  best_schedule : Schedule.t;
+  best_result : Profiler.result option;
+  history : (int * float) list; (** (budget spent, best-so-far), increasing *)
+  spent : int;
+}
+
+(** Loop-space exploration policy. *)
+type loop_explorer =
+  | Guided (** elite mutations + random, cost-model-ranked (Ansor/ALT) *)
+  | Walk (** random walk, everything measured (FlexTensor: no cost model) *)
+  | Restricted (** AutoTVM-like: restricted knob space *)
+
+val state_dim : int
+val actor_input_dim : int
+(** Input width of the layout PPO actor (state embedding + knob features). *)
+
+val tune_alt :
+  ?seed:int -> ?levels:int ->
+  ?layout_explorer:[ `Random | `Ppo_fresh | `Ppo of Ppo.t ] ->
+  ?seed_layouts:bool ->
+  joint_budget:int -> loop_budget:int -> Measure.task -> result
+(** The ALT tuner.  The joint stage seeds with heuristic layouts, then
+    cross-explores template layouts with the layout agent, assessing each
+    by rounds of loop tuning; the loop-only stage greedily allocates the
+    remaining budget over the best-ranked layouts. *)
+
+val tune_loop_only :
+  ?seed:int -> explorer:loop_explorer -> budget:int ->
+  layouts:Propagate.choice list -> Measure.task -> result
+(** Loop tuning over fixed layout candidates, splitting the budget across
+    them (the paper tries NOHW and NHWO for baselines and reports the
+    best). *)
+
+(** The systems of the single-operator benchmark (Fig. 9). *)
+type system =
+  | Vendor
+  | Autotvm_like
+  | Flextensor_like
+  | Ansor_like
+  | Alt
+  | Alt_ol (** loop-only on fixed channels-last layouts *)
+
+val system_name : system -> string
+
+val tune_vendor : ?seed:int -> Measure.task -> result
+(** Vendor-library stand-in: a small set of expert schedules on a fixed
+    blocked layout; no search. *)
+
+val tune_op : ?seed:int -> system:system -> budget:int -> Measure.task -> result

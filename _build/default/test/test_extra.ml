@@ -1,0 +1,149 @@
+(* Additional coverage: attention plumbing operators, operator validation,
+   the vendor tuner, and graph-tuner task deduplication / budget
+   accounting. *)
+
+open Alt_tensor
+module Opdef = Alt_ir.Opdef
+module Sexpr = Alt_ir.Sexpr
+module Ops = Alt_graph.Ops
+module Graph = Alt_graph.Graph
+module Machine = Alt_machine.Machine
+module Measure = Alt_tuner.Measure
+module Tuner = Alt_tuner.Tuner
+module Graph_tuner = Alt_tuner.Graph_tuner
+module Zoo = Alt_models.Zoo
+
+let test_split_merge_heads_roundtrip () =
+  let s, h, heads = (6, 8, 2) in
+  let x = Buffer.random ~seed:3 [| s; h |] in
+  let split = Ops.split_heads ~name:"sh" ~inp:"X" ~out:"Q" ~s ~h ~heads () in
+  let merge = Ops.merge_heads ~name:"mh" ~inp:"Q" ~out:"Y" ~s ~h ~heads () in
+  let q = Opdef.reference_eval split [ ("X", x) ] in
+  let y = Opdef.reference_eval merge [ ("Q", q) ] in
+  Alcotest.(check bool) "roundtrip" true (Buffer.allclose x y)
+
+let test_split_heads_t_is_transpose () =
+  let s, h, heads = (4, 6, 2) in
+  let dh = h / heads in
+  let x = Buffer.random ~seed:4 [| s; h |] in
+  let st = Ops.split_heads_t ~name:"sht" ~inp:"X" ~out:"K" ~s ~h ~heads () in
+  let k = Opdef.reference_eval st [ ("X", x) ] in
+  (* K[a][d][s] = X[s][a*dh + d] *)
+  for a = 0 to heads - 1 do
+    for d = 0 to dh - 1 do
+      for si = 0 to s - 1 do
+        let lhs = k.((((a * dh) + d) * s) + si) in
+        let rhs = x.((si * h) + (a * dh) + d) in
+        if Float.abs (lhs -. rhs) > 1e-9 then
+          Alcotest.failf "mismatch at a=%d d=%d s=%d" a d si
+      done
+    done
+  done
+
+let test_softmax_pieces () =
+  (* softmax over the last dim sums to 1 *)
+  let lead = [| 2; 3 |] and n = 5 in
+  let x = Buffer.random ~seed:6 [| 2; 3; 5 |] in
+  let mx = Opdef.reference_eval (Ops.rowmax ~name:"m" ~inp:"X" ~out:"M" ~lead ~n ()) [ ("X", x) ] in
+  let ex =
+    Opdef.reference_eval
+      (Ops.exp_sub ~name:"e" ~inp:"X" ~row:"M" ~out:"E" ~lead ~n ())
+      [ ("X", x); ("M", mx) ]
+  in
+  let sm = Opdef.reference_eval (Ops.rowsum ~name:"s" ~inp:"E" ~out:"S" ~lead ~n ()) [ ("E", ex) ] in
+  let p =
+    Opdef.reference_eval
+      (Ops.div_rows ~name:"d" ~inp:"E" ~row:"S" ~out:"P" ~lead ~n ())
+      [ ("E", ex); ("S", sm) ]
+  in
+  for row = 0 to 5 do
+    let sum = ref 0.0 in
+    for j = 0 to n - 1 do
+      sum := !sum +. p.((row * n) + j)
+    done;
+    Alcotest.(check (float 1e-6)) "sums to 1" 1.0 !sum
+  done
+
+let test_opdef_validation () =
+  let v = Var.fresh "i" in
+  Alcotest.(check bool) "unknown tensor rejected" true
+    (try
+       ignore
+         (Opdef.make ~name:"bad" ~inputs:[ ("A", [| 4 |]) ] ~out_name:"Y"
+            ~out_shape:[| 4 |] ~spatial:[| v |] ~reduce:[]
+            ~combiner:Opdef.Assign ~init:0.0
+            ~body:(Sexpr.load "NOPE" [| Ixexpr.var v |])
+            ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "rank mismatch rejected" true
+    (try
+       ignore
+         (Opdef.make ~name:"bad2" ~inputs:[ ("A", [| 4; 4 |]) ] ~out_name:"Y"
+            ~out_shape:[| 4; 4 |] ~spatial:[| v |] ~reduce:[]
+            ~combiner:Opdef.Assign ~init:0.0
+            ~body:(Sexpr.load "A" [| Ixexpr.var v; Ixexpr.var v |])
+            ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_vendor_no_search () =
+  let op =
+    Ops.c2d ~name:"c" ~inp:"X" ~ker:"K" ~out:"Y" ~n:1 ~i:8 ~o:16 ~h:8 ~w:8
+      ~kh:3 ~kw:3 ()
+  in
+  let task = Measure.make_task ~machine:Machine.arm_cpu ~max_points:5_000 op in
+  let r = Tuner.tune_vendor task in
+  (* the vendor stand-in tries its small fixed kernel set only *)
+  Alcotest.(check bool) "few measurements" true (r.Tuner.spent <= 6);
+  Alcotest.(check bool) "finite" true (Float.is_finite r.Tuner.best_latency)
+
+let test_graph_tuner_dedup () =
+  (* a network with many identical layers must tune far fewer tasks *)
+  let m = Zoo.resnet3d_18 ~size:8 ~depth:4 ~base:4 () in
+  let g = m.Zoo.graph in
+  let tg =
+    Graph_tuner.tune_graph ~system:Graph_tuner.Gansor ~machine:Machine.intel_cpu
+      ~budget:40 ~max_points:4_000 g
+  in
+  let n_complex = List.length (Graph.complex_nodes g) in
+  Alcotest.(check bool)
+    (Fmt.str "dedup: %d tasks < %d complex ops" tg.Graph_tuner.tasks_tuned
+       n_complex)
+    true
+    (tg.Graph_tuner.tasks_tuned < n_complex);
+  Alcotest.(check int) "every complex op got a choice" n_complex
+    (List.length tg.Graph_tuner.choices)
+
+let test_history_budget_accounting () =
+  let op = Ops.gmm ~name:"g" ~a:"A" ~b:"B" ~out:"C" ~m:8 ~k:8 ~n:8 () in
+  let task = Measure.make_task ~machine:Machine.intel_cpu ~max_points:4_000 op in
+  let r = Tuner.tune_op ~system:Tuner.Ansor_like ~budget:20 task in
+  Alcotest.(check bool) "spent <= budget" true (r.Tuner.spent <= 20);
+  List.iter
+    (fun (spent, _) ->
+      Alcotest.(check bool) "history within budget" true (spent <= 20))
+    r.Tuner.history
+
+let () =
+  Alcotest.run "alt_extra"
+    [
+      ( "attention-ops",
+        [
+          Alcotest.test_case "split/merge heads roundtrip" `Quick
+            test_split_merge_heads_roundtrip;
+          Alcotest.test_case "split_heads_t transpose" `Quick
+            test_split_heads_t_is_transpose;
+          Alcotest.test_case "softmax pieces" `Quick test_softmax_pieces;
+        ] );
+      ( "validation",
+        [ Alcotest.test_case "opdef validation" `Quick test_opdef_validation ]
+      );
+      ( "tuners",
+        [
+          Alcotest.test_case "vendor fixed kernels" `Quick test_vendor_no_search;
+          Alcotest.test_case "graph tuner dedup" `Quick test_graph_tuner_dedup;
+          Alcotest.test_case "budget accounting" `Quick
+            test_history_budget_accounting;
+        ] );
+    ]

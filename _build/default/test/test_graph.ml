@@ -1,0 +1,425 @@
+(* Tests for the graph layer: building, reference execution, Algorithm 1
+   layout propagation, conversion insertion, fusion grouping, and full
+   compiled-graph correctness against the reference interpreter. *)
+
+open Alt_tensor
+module Opdef = Alt_ir.Opdef
+module Graph = Alt_graph.Graph
+module Ops = Alt_graph.Ops
+module Propagate = Alt_graph.Propagate
+module Compile = Alt_graph.Compile
+module Machine = Alt_machine.Machine
+
+let trivial shape = Layout.create shape
+
+(* pad -> c2d -> bias -> relu -> maxpool : the first layer of a scaled
+   ResNet, exercising padding, a complex op, a fusable chain and a
+   windowed simple op. *)
+let conv_block ~n ~i ~o ~h ~w () =
+  let b = Graph.builder () in
+  let x = Graph.input b "x" [| n; i; h; w |] in
+  let k = Graph.param b "k" [| o; i; 3; 3 |] in
+  let bias = Graph.param b "bias" [| o |] in
+  let xp =
+    Graph.add b (Ops.pad2d ~name:"pad0" ~inp:x ~out:"xp" ~n ~c:i ~h ~w ~pad:1 ())
+  in
+  let y =
+    Graph.add b
+      (Ops.c2d ~name:"conv0" ~inp:xp ~ker:k ~out:"y" ~n ~i ~o ~h ~w ~kh:3 ~kw:3 ())
+  in
+  let yb =
+    Graph.add b
+      (Ops.bias_add ~name:"bias0" ~inp:y ~bias ~out:"yb"
+         ~shape:[| n; o; h; w |] ~dim:1 ())
+  in
+  let yr =
+    Graph.add b (Ops.relu ~name:"relu0" ~inp:yb ~out:"yr" ~shape:[| n; o; h; w |] ())
+  in
+  let yp =
+    Graph.add b
+      (Ops.maxpool2d ~name:"pool0" ~inp:yr ~out:"yp" ~n ~c:o ~h:(h / 2)
+         ~w:(w / 2) ~k:2 ~stride:2 ())
+  in
+  (Graph.finish b ~outputs:[ yp ], x, k)
+
+let check_outputs msg g compiled feeds =
+  let ref_env = Graph.reference_execute g ~feeds in
+  let r = Compile.execute compiled ~feeds in
+  Alcotest.(check bool) (msg ^ ": not sampled") false r.Compile.sampled;
+  List.iter
+    (fun (name, actual) ->
+      let expected = List.assoc name ref_env in
+      if not (Buffer.allclose ~tol:1e-4 expected actual) then
+        Alcotest.failf "%s: output %s differs by %g" msg name
+          (Buffer.max_abs_diff expected actual))
+    r.Compile.outputs;
+  r
+
+let test_builder_validation () =
+  let b = Graph.builder () in
+  let _ = Graph.input b "x" [| 2; 2 |] in
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Graph: duplicate tensor name x") (fun () ->
+      ignore (Graph.input b "x" [| 2; 2 |]));
+  Alcotest.(check bool) "unknown tensor" true
+    (try
+       ignore (Graph.add b (Ops.relu ~name:"r" ~inp:"nope" ~out:"y" ~shape:[| 2; 2 |] ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_reference_execute () =
+  let g, _, _ = conv_block ~n:1 ~i:3 ~o:4 ~h:8 ~w:8 () in
+  let feeds = Graph.random_feeds g in
+  let env = Graph.reference_execute g ~feeds in
+  Alcotest.(check int) "yp size"
+    (Shape.num_elements [| 1; 4; 4; 4 |])
+    (Array.length (List.assoc "yp" env))
+
+let test_graph_trivial_choices () =
+  let g, _, _ = conv_block ~n:1 ~i:3 ~o:4 ~h:8 ~w:8 () in
+  let choices = Compile.trivial_choices g in
+  let plan = Propagate.plan g ~choices in
+  let compiled = Compile.compile g plan in
+  let feeds = Graph.random_feeds g in
+  ignore (check_outputs "trivial" g compiled feeds)
+
+let test_graph_blocked_with_fusion () =
+  let g, _, _ = conv_block ~n:1 ~i:4 ~o:8 ~h:8 ~w:8 () in
+  (* conv output stored N H W O/ot ot style: split O and move inner-most *)
+  let out_shape = [| 1; 8; 8; 8 |] in
+  let out_layout =
+    let l = Layout.split (trivial out_shape) ~dim:1 ~factors:[ 2; 4 ] in
+    Layout.reorder l [| 0; 1; 3; 4; 2 |]
+  in
+  let choices =
+    [
+      ( "conv0",
+        {
+          Propagate.out_layout;
+          in_layouts =
+            [ ("xp", trivial [| 1; 4; 10; 10 |]); ("k", trivial [| 8; 4; 3; 3 |]) ];
+        } );
+    ]
+  in
+  let plan = Propagate.plan g ~choices in
+  (* bias and relu must be fused; pool is not elementwise so stops it *)
+  Alcotest.(check int) "fused ops" 2 plan.Propagate.fused_ops;
+  Alcotest.(check int) "no conversions" 0 plan.Propagate.conversions;
+  let compiled = Compile.compile g plan in
+  let feeds = Graph.random_feeds g in
+  ignore (check_outputs "blocked+fusion" g compiled feeds)
+
+let test_graph_unfolded_input_backward_emit () =
+  (* conv desires an unfolded input; the pad producer must emit it (Fig 5b)
+     without any conversion stage *)
+  let g, _, _ = conv_block ~n:1 ~i:4 ~o:8 ~h:8 ~w:8 () in
+  let inp_layout =
+    (* [1;4;10;10] input (padded): unfold H with ht=4: tile 4+2=6 stride 4 *)
+    let l = trivial [| 1; 4; 10; 10 |] in
+    Layout.unfold l ~dim:2 ~tile:6 ~stride:4
+  in
+  let choices =
+    [
+      ( "conv0",
+        {
+          Propagate.out_layout = trivial [| 1; 8; 8; 8 |];
+          in_layouts = [ ("xp", inp_layout); ("k", trivial [| 8; 4; 3; 3 |]) ];
+        } );
+    ]
+  in
+  let plan = Propagate.plan g ~choices in
+  Alcotest.(check int) "no conversions (producer emits)" 0
+    plan.Propagate.conversions;
+  let compiled = Compile.compile g plan in
+  let feeds = Graph.random_feeds g in
+  ignore (check_outputs "unfolded backward emit" g compiled feeds)
+
+let test_graph_mode_off_inserts_conversion () =
+  let g, _, _ = conv_block ~n:1 ~i:4 ~o:8 ~h:8 ~w:8 () in
+  let inp_layout =
+    let l = trivial [| 1; 4; 10; 10 |] in
+    Layout.unfold l ~dim:2 ~tile:6 ~stride:4
+  in
+  let choices =
+    [
+      ( "conv0",
+        {
+          Propagate.out_layout = trivial [| 1; 8; 8; 8 |];
+          in_layouts = [ ("xp", inp_layout); ("k", trivial [| 8; 4; 3; 3 |]) ];
+        } );
+    ]
+  in
+  let plan = Propagate.plan ~mode:Propagate.Off g ~choices in
+  Alcotest.(check int) "conversion inserted" 1 plan.Propagate.conversions;
+  let compiled = Compile.compile g plan in
+  let feeds = Graph.random_feeds g in
+  ignore (check_outputs "mode=Off conversion" g compiled feeds)
+
+let test_graph_mode_adjacent_no_fusion () =
+  let g, _, _ = conv_block ~n:1 ~i:4 ~o:8 ~h:8 ~w:8 () in
+  let out_shape = [| 1; 8; 8; 8 |] in
+  let out_layout =
+    let l = Layout.split (trivial out_shape) ~dim:1 ~factors:[ 2; 4 ] in
+    Layout.reorder l [| 0; 1; 3; 4; 2 |]
+  in
+  let choices =
+    [
+      ( "conv0",
+        {
+          Propagate.out_layout;
+          in_layouts =
+            [ ("xp", trivial [| 1; 4; 10; 10 |]); ("k", trivial [| 8; 4; 3; 3 |]) ];
+        } );
+    ]
+  in
+  let plan = Propagate.plan ~mode:Propagate.Adjacent g ~choices in
+  Alcotest.(check int) "no fusion in WP mode" 0 plan.Propagate.fused_ops;
+  let compiled = Compile.compile g plan in
+  let feeds = Graph.random_feeds g in
+  ignore (check_outputs "mode=Adjacent" g compiled feeds)
+
+(* Two back-to-back convolutions: a conversion operator must appear between
+   them when their layouts differ (Algorithm 1's second constraint). *)
+let two_convs () =
+  let n, c, h, w = (1, 4, 8, 8) in
+  let b = Graph.builder () in
+  let x = Graph.input b "x" [| n; c; h; w |] in
+  let k1 = Graph.param b "k1" [| c; c; 3; 3 |] in
+  let k2 = Graph.param b "k2" [| c; c; 1; 1 |] in
+  let xp =
+    Graph.add b (Ops.pad2d ~name:"pad1" ~inp:x ~out:"xp" ~n ~c ~h ~w ~pad:1 ())
+  in
+  let y1 =
+    Graph.add b
+      (Ops.c2d ~name:"conv1" ~inp:xp ~ker:k1 ~out:"y1" ~n ~i:c ~o:c ~h ~w
+         ~kh:3 ~kw:3 ())
+  in
+  let y2 =
+    Graph.add b
+      (Ops.c2d ~name:"conv2" ~inp:y1 ~ker:k2 ~out:"y2" ~n ~i:c ~o:c ~h ~w
+         ~kh:1 ~kw:1 ())
+  in
+  Graph.finish b ~outputs:[ y2 ]
+
+let test_conversion_between_convs () =
+  let g = two_convs () in
+  let shape = [| 1; 4; 8; 8 |] in
+  let l1 =
+    Layout.reorder (trivial shape) [| 0; 2; 3; 1 |] (* conv1 emits NHWO *)
+  in
+  let l2_in =
+    Layout.split (trivial shape) ~dim:1 ~factors:[ 2; 2 ] (* conv2 wants blocked *)
+  in
+  let choices =
+    [
+      ( "conv1",
+        {
+          Propagate.out_layout = l1;
+          in_layouts =
+            [ ("xp", trivial [| 1; 4; 10; 10 |]); ("k1", trivial [| 4; 4; 3; 3 |]) ];
+        } );
+      ( "conv2",
+        {
+          Propagate.out_layout = trivial shape;
+          in_layouts = [ ("y1", l2_in); ("k2", trivial [| 4; 4; 1; 1 |]) ];
+        } );
+    ]
+  in
+  let plan = Propagate.plan g ~choices in
+  Alcotest.(check int) "one conversion" 1 plan.Propagate.conversions;
+  let compiled = Compile.compile g plan in
+  let feeds = Graph.random_feeds g in
+  ignore (check_outputs "conv-conv conversion" g compiled feeds);
+  (* same layouts on both sides: conversion disappears *)
+  let choices_same =
+    [
+      ( "conv1",
+        {
+          Propagate.out_layout = l1;
+          in_layouts =
+            [ ("xp", trivial [| 1; 4; 10; 10 |]); ("k1", trivial [| 4; 4; 3; 3 |]) ];
+        } );
+      ( "conv2",
+        {
+          Propagate.out_layout = trivial shape;
+          in_layouts = [ ("y1", l1); ("k2", trivial [| 4; 4; 1; 1 |]) ];
+        } );
+    ]
+  in
+  let plan2 = Propagate.plan g ~choices:choices_same in
+  Alcotest.(check int) "no conversion when layouts agree" 0
+    plan2.Propagate.conversions;
+  let compiled2 = Compile.compile g plan2 in
+  ignore (check_outputs "conv-conv same layout" g compiled2 feeds)
+
+(* Residual branch: y = relu(conv(x) + x) — a consumer with two inputs. *)
+let test_residual_add () =
+  let n, c, h, w = (1, 4, 8, 8) in
+  let b = Graph.builder () in
+  let x = Graph.input b "x" [| n; c; h; w |] in
+  let k = Graph.param b "k" [| c; c; 3; 3 |] in
+  let xp = Graph.add b (Ops.pad2d ~name:"pad" ~inp:x ~out:"xp" ~n ~c ~h ~w ~pad:1 ()) in
+  let y =
+    Graph.add b
+      (Ops.c2d ~name:"conv" ~inp:xp ~ker:k ~out:"y" ~n ~i:c ~o:c ~h ~w ~kh:3 ~kw:3 ())
+  in
+  let s = Graph.add b (Ops.add ~name:"res" ~a:y ~b:x ~out:"s" ~shape:[| n; c; h; w |] ()) in
+  let r = Graph.add b (Ops.relu ~name:"relu" ~inp:s ~out:"r" ~shape:[| n; c; h; w |] ()) in
+  let g = Graph.finish b ~outputs:[ r ] in
+  let out_layout = Layout.reorder (trivial [| n; c; h; w |]) [| 0; 2; 3; 1 |] in
+  let choices =
+    [
+      ( "conv",
+        {
+          Propagate.out_layout;
+          in_layouts =
+            [ ("xp", trivial [| 1; 4; 10; 10 |]); ("k", trivial [| 4; 4; 3; 3 |]) ];
+        } );
+    ]
+  in
+  let plan = Propagate.plan g ~choices in
+  Alcotest.(check int) "add+relu fused" 2 plan.Propagate.fused_ops;
+  let compiled = Compile.compile g plan in
+  let feeds = Graph.random_feeds g in
+  ignore (check_outputs "residual" g compiled feeds)
+
+let test_gmm_chain () =
+  (* gmm -> bias -> gelu, blocked layouts everywhere *)
+  let m, k, n = (8, 12, 16) in
+  let b = Graph.builder () in
+  let a = Graph.input b "a" [| m; k |] in
+  let w = Graph.param b "w" [| k; n |] in
+  let bias = Graph.param b "bias" [| n |] in
+  let c = Graph.add b (Ops.gmm ~name:"gmm" ~a ~b:w ~out:"c" ~m ~k ~n ()) in
+  let cb =
+    Graph.add b
+      (Ops.bias_add ~name:"biasadd" ~inp:c ~bias ~out:"cb" ~shape:[| m; n |] ~dim:1 ())
+  in
+  let cg = Graph.add b (Ops.gelu ~name:"gelu" ~inp:cb ~out:"cg" ~shape:[| m; n |] ()) in
+  let g = Graph.finish b ~outputs:[ cg ] in
+  let block2 l d0 f0 d1 f1 =
+    let s = Layout.physical_shape l in
+    let l = Layout.split l ~dim:d0 ~factors:[ s.(d0) / f0; f0 ] in
+    let s = Layout.physical_shape l in
+    let l = Layout.split l ~dim:d1 ~factors:[ s.(d1) / f1; f1 ] in
+    Layout.reorder l [| 0; 2; 1; 3 |]
+  in
+  let choices =
+    [
+      ( "gmm",
+        {
+          Propagate.out_layout = block2 (trivial [| m; n |]) 0 4 1 4;
+          in_layouts =
+            [
+              ("a", block2 (trivial [| m; k |]) 0 4 1 4);
+              ("w", block2 (trivial [| k; n |]) 0 4 1 4);
+            ];
+        } );
+    ]
+  in
+  let plan = Propagate.plan g ~choices in
+  Alcotest.(check int) "bias+gelu fused" 2 plan.Propagate.fused_ops;
+  let compiled = Compile.compile g plan in
+  let feeds = Graph.random_feeds g in
+  ignore (check_outputs "gmm chain" g compiled feeds)
+
+(* ------------------------------------------------------------------ *)
+(* store_at placement                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Placement = Alt_graph.Placement
+module Lower = Alt_ir.Lower
+module Schedule = Alt_ir.Schedule
+module Runtime = Alt_machine.Runtime
+
+let test_store_at_roundtrip () =
+  let host_shape = [| 5; 3 |] in
+  let p = { Placement.host = "W"; guest = "B"; dim = 0; combined = "WB" } in
+  let host = Buffer.iota host_shape in
+  let guest = [| 100.; 200.; 300. |] in
+  let combined = Placement.pack_combined ~host_shape p ~host ~guest in
+  Alcotest.(check int) "size" 18 (Array.length combined);
+  Alcotest.(check (float 0.)) "guest row" 200. combined.(16);
+  let h, g = Placement.unpack_combined ~host_shape p combined in
+  Alcotest.(check bool) "host back" true (Buffer.allclose h host);
+  Alcotest.(check bool) "guest back" true (Buffer.allclose g guest)
+
+let test_store_at_gmm_bias () =
+  (* out = A @ W + B computed through the combined buffer must equal the
+     plain computation *)
+  let m, k, n = (4, 6, 8) in
+  let gmm = Ops.gmm ~name:"fc" ~a:"A" ~b:"W" ~out:"Y" ~m ~k ~n () in
+  let bias =
+    Ops.bias_add ~name:"bias" ~inp:"Y" ~bias:"B" ~out:"Yb" ~shape:[| m; n |]
+      ~dim:1 ()
+  in
+  let a = Buffer.random ~seed:1 [| m; k |] in
+  let w = Buffer.random ~seed:2 [| k; n |] in
+  let bv = Buffer.random ~seed:3 [| n |] in
+  let y_ref = Opdef.reference_eval gmm [ ("A", a); ("W", w) ] in
+  let yb_ref = Opdef.reference_eval bias [ ("Y", y_ref); ("B", bv) ] in
+  let p = { Placement.host = "W"; guest = "B"; dim = 0; combined = "WB" } in
+  let gmm' = Placement.apply ~host_shape:[| k; n |] gmm p in
+  let bias' = Placement.apply ~host_shape:[| k; n |] bias p in
+  let combined = Placement.pack_combined ~host_shape:[| k; n |] p ~host:w ~guest:bv in
+  let prog =
+    Lower.lower ~op:gmm'
+      ~layouts:(fun nm ->
+        Layout.create (if nm = "A" then [| m; k |] else [| k + 1; n |]))
+      ~out_layout:(Layout.create [| m; n |])
+      ~fused:[ { Lower.fop = bias'; fout_layout = Layout.create [| m; n |] } ]
+      ~schedule:(Schedule.default ~rank:2 ~nred:1)
+      ()
+  in
+  let outs, _ =
+    Runtime.run_logical prog ~inputs:[ ("A", a); ("WB", combined) ]
+  in
+  Alcotest.(check bool) "store_at result" true
+    (Buffer.allclose ~tol:1e-5 yb_ref (List.assoc "Yb" outs))
+
+let test_store_at_validation () =
+  let gmm = Ops.gmm ~name:"fc" ~a:"A" ~b:"W" ~out:"Y" ~m:4 ~k:6 ~n:8 () in
+  let p = { Placement.host = "W"; guest = "B"; dim = 0; combined = "WB" } in
+  Alcotest.(check bool) "neither input" true
+    (try
+       ignore
+         (Placement.apply ~host_shape:[| 6; 8 |]
+            (Ops.relu ~name:"r" ~inp:"X" ~out:"Z" ~shape:[| 2; 2 |] ())
+            p);
+       false
+     with Invalid_argument _ -> true);
+  ignore (Placement.apply ~host_shape:[| 6; 8 |] gmm p)
+
+let () =
+  Alcotest.run "alt_graph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "builder validation" `Quick test_builder_validation;
+          Alcotest.test_case "reference execute" `Quick test_reference_execute;
+        ] );
+      ( "placement",
+        [
+          Alcotest.test_case "pack/unpack roundtrip" `Quick
+            test_store_at_roundtrip;
+          Alcotest.test_case "gmm+bias via combined buffer" `Quick
+            test_store_at_gmm_bias;
+          Alcotest.test_case "validation" `Quick test_store_at_validation;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "trivial choices" `Quick test_graph_trivial_choices;
+          Alcotest.test_case "blocked + fusion" `Quick
+            test_graph_blocked_with_fusion;
+          Alcotest.test_case "unfolded input, backward emit" `Quick
+            test_graph_unfolded_input_backward_emit;
+          Alcotest.test_case "mode=Off inserts conversion" `Quick
+            test_graph_mode_off_inserts_conversion;
+          Alcotest.test_case "mode=Adjacent disables fusion" `Quick
+            test_graph_mode_adjacent_no_fusion;
+          Alcotest.test_case "conversion between convs" `Quick
+            test_conversion_between_convs;
+          Alcotest.test_case "residual add" `Quick test_residual_add;
+          Alcotest.test_case "gmm chain" `Quick test_gmm_chain;
+        ] );
+    ]

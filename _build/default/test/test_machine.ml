@@ -1,0 +1,143 @@
+(* Machine-model invariants: determinism, monotonicity of the latency
+   model, counter consistency between machines, and sampling extrapolation
+   on programs where exact counters are known. *)
+
+open Alt_tensor
+module Schedule = Alt_ir.Schedule
+module Lower = Alt_ir.Lower
+module Ops = Alt_graph.Ops
+module Machine = Alt_machine.Machine
+module Profiler = Alt_machine.Profiler
+module Runtime = Alt_machine.Runtime
+module Opdef = Alt_ir.Opdef
+
+let trivial shape = Layout.create shape
+
+let gmm_prog ?(vec = false) ?(par = 0) () =
+  let op = Ops.gmm ~name:"g" ~a:"A" ~b:"B" ~out:"C" ~m:16 ~k:16 ~n:16 () in
+  let s = Schedule.default ~rank:2 ~nred:1 in
+  let s = if vec then Schedule.vectorize s else s in
+  let s = Schedule.parallel s par in
+  let prog =
+    Lower.lower ~op
+      ~layouts:(fun n -> trivial (if n = "A" then [| 16; 16 |] else [| 16; 16 |]))
+      ~out_layout:(trivial [| 16; 16 |])
+      ~schedule:s ()
+  in
+  (op, prog)
+
+let run_prog ?machine prog =
+  let inputs =
+    [ ("A", Buffer.random ~seed:1 [| 16; 16 |]); ("B", Buffer.random ~seed:2 [| 16; 16 |]) ]
+  in
+  Runtime.run_logical ?machine prog ~inputs
+
+let test_determinism () =
+  let _, prog = gmm_prog () in
+  let _, r1 = run_prog prog in
+  let _, r2 = run_prog prog in
+  Alcotest.(check (float 0.0)) "latency deterministic" r1.Profiler.latency_ms
+    r2.Profiler.latency_ms;
+  Alcotest.(check (float 0.0)) "misses deterministic" r1.Profiler.l1_misses
+    r2.Profiler.l1_misses
+
+let test_flops_exact () =
+  (* GMM 16x16x16: mul+add per MAC -> 2*16^3 flops *)
+  let _, prog = gmm_prog () in
+  let _, r = run_prog prog in
+  Alcotest.(check (float 0.0)) "flops" (2.0 *. (16.0 ** 3.0)) r.Profiler.flops
+
+let test_machines_differ () =
+  let _, prog = gmm_prog ~vec:true () in
+  let lats =
+    List.map
+      (fun m ->
+        let _, r = run_prog ~machine:m prog in
+        r.Profiler.latency_ms)
+      Machine.all
+  in
+  (* three distinct profiles should give three distinct latencies *)
+  Alcotest.(check int) "distinct" 3
+    (List.length (List.sort_uniq Float.compare lats))
+
+let test_latency_positive_and_finite () =
+  List.iter
+    (fun m ->
+      let _, prog = gmm_prog ~vec:true ~par:1 () in
+      let _, r = run_prog ~machine:m prog in
+      Alcotest.(check bool)
+        (m.Machine.name ^ " positive")
+        true
+        (Float.is_finite r.Profiler.latency_ms && r.Profiler.latency_ms > 0.0))
+    Machine.all
+
+let test_register_promotion () =
+  (* with reduction innermost, the accumulator must not dominate stores:
+     output stores should be near one per output element *)
+  let _, prog = gmm_prog () in
+  let _, r = run_prog prog in
+  Alcotest.(check bool)
+    (Fmt.str "stores %.0f < 3x outputs" r.Profiler.stores)
+    true
+    (r.Profiler.stores < 3.0 *. 256.0)
+
+let test_sampling_scale_bounds () =
+  let op =
+    Ops.c2d ~name:"c" ~inp:"X" ~ker:"K" ~out:"Y" ~n:1 ~i:8 ~o:8 ~h:12 ~w:12
+      ~kh:3 ~kw:3 ()
+  in
+  let prog =
+    Lower.lower ~op
+      ~layouts:(fun n ->
+        trivial (Opdef.input_shape op n))
+      ~out_layout:(trivial [| 1; 8; 12; 12 |])
+      ~schedule:(Schedule.default ~rank:4 ~nred:3)
+      ()
+  in
+  let inputs =
+    List.map (fun (n, s) -> (n, Buffer.random s)) op.Opdef.inputs
+  in
+  let bufs = Runtime.alloc_bufs prog ~inputs in
+  let full = Profiler.run prog ~bufs in
+  List.iter
+    (fun budget ->
+      let bufs = Runtime.alloc_bufs prog ~inputs in
+      let s = Profiler.run ~max_points:budget prog ~bufs in
+      Alcotest.(check bool) "sampled" true s.Profiler.sampled;
+      let ratio = s.Profiler.flops /. full.Profiler.flops in
+      Alcotest.(check bool)
+        (Fmt.str "flops ratio %.3f within 25%% at budget %d" ratio budget)
+        true
+        (ratio > 0.75 && ratio < 1.25))
+    [ 2_000; 10_000; 50_000 ]
+
+let test_gpu_parallel_wins () =
+  (* the GPU profile must reward parallel programs more than the ARM one *)
+  let _, prog_par = gmm_prog ~vec:true ~par:2 () in
+  let _, prog_ser = gmm_prog ~vec:true ~par:0 () in
+  let speedup m =
+    let _, rp = run_prog ~machine:m prog_par in
+    let _, rs = run_prog ~machine:m prog_ser in
+    rs.Profiler.latency_ms /. rp.Profiler.latency_ms
+  in
+  Alcotest.(check bool) "gpu speedup > arm speedup" true
+    (speedup Machine.nvidia_gpu >= speedup Machine.arm_cpu)
+
+let () =
+  Alcotest.run "alt_machine"
+    [
+      ( "profiler",
+        [
+          Alcotest.test_case "deterministic" `Quick test_determinism;
+          Alcotest.test_case "exact flops" `Quick test_flops_exact;
+          Alcotest.test_case "machines differ" `Quick test_machines_differ;
+          Alcotest.test_case "finite latency" `Quick
+            test_latency_positive_and_finite;
+          Alcotest.test_case "register promotion" `Quick
+            test_register_promotion;
+          Alcotest.test_case "sampling extrapolation" `Quick
+            test_sampling_scale_bounds;
+          Alcotest.test_case "gpu parallel advantage" `Quick
+            test_gpu_parallel_wins;
+        ] );
+    ]

@@ -1,0 +1,118 @@
+(* Model zoo tests: every network builds, its reference execution runs, and
+   — the strongest end-to-end check — compiled execution (with and without
+   tuned layouts) matches the reference interpreter exactly. *)
+
+open Alt_tensor
+module Graph = Alt_graph.Graph
+module Propagate = Alt_graph.Propagate
+module Compile = Alt_graph.Compile
+module Zoo = Alt_models.Zoo
+module Machine = Alt_machine.Machine
+module Tuner = Alt_tuner.Tuner
+module Graph_tuner = Alt_tuner.Graph_tuner
+
+let check_model_structure () =
+  let r18 = Zoo.resnet18 () in
+  let mv2 = Zoo.mobilenet_v2 () in
+  let bb = Zoo.bert_base () in
+  let r3d = Zoo.resnet3d_18 () in
+  let n_complex g = List.length (Graph.complex_nodes g) in
+  (* R18: stem + 8 stage convs x2 + 3 downsamples + fc *)
+  Alcotest.(check int) "r18 complex ops" 21 (n_complex r18.Zoo.graph);
+  Alcotest.(check bool) "mv2 complex ops" true (n_complex mv2.Zoo.graph >= 15);
+  (* BB: per layer 4 gmm + 2 bmm + 2 ffn gmm = 8; 2 layers *)
+  Alcotest.(check int) "bert complex ops" 16 (n_complex bb.Zoo.graph);
+  Alcotest.(check bool) "r3d complex ops" true (n_complex r3d.Zoo.graph >= 13)
+
+let compiled_matches_reference ?(tol = 1e-3) name (g : Graph.t) =
+  let feeds = Graph.random_feeds g in
+  let ref_env = Graph.reference_execute g ~feeds in
+  let choices = Compile.trivial_choices g in
+  let plan = Propagate.plan g ~choices in
+  let compiled = Compile.compile g plan in
+  let r = Compile.execute compiled ~feeds in
+  Alcotest.(check bool) (name ^ " unsampled") false r.Compile.sampled;
+  List.iter
+    (fun (tname, actual) ->
+      let expected = List.assoc tname ref_env in
+      if not (Buffer.allclose ~tol expected actual) then
+        Alcotest.failf "%s: %s differs by %g" name tname
+          (Buffer.max_abs_diff expected actual))
+    r.Compile.outputs
+
+let test_r18_tiny_correct () =
+  let m = Zoo.resnet18 ~size:8 ~base:4 () in
+  compiled_matches_reference "r18" m.Zoo.graph
+
+let test_mv2_tiny_correct () =
+  let m = Zoo.mobilenet_v2 ~size:8 () in
+  compiled_matches_reference "mv2" m.Zoo.graph
+
+let test_bert_tiny_correct () =
+  let m = Zoo.bert_tiny () in
+  compiled_matches_reference ~tol:5e-3 "bert" m.Zoo.graph
+
+let test_r3d_tiny_correct () =
+  let m = Zoo.resnet3d_18 ~size:8 ~depth:4 ~base:4 () in
+  compiled_matches_reference "r3d" m.Zoo.graph
+
+(* The full loop: tune a small network with ALT, then verify the tuned,
+   propagated, fused, conversion-inserted execution is still bit-correct
+   against the naive interpreter. *)
+let test_tuned_r18_correct () =
+  let m = Zoo.resnet18 ~size:8 ~base:4 () in
+  let g = m.Zoo.graph in
+  let tg =
+    Graph_tuner.tune_graph ~system:Graph_tuner.Galt ~machine:Machine.intel_cpu
+      ~budget:60 ~max_points:8000 g
+  in
+  let feeds = Graph.random_feeds g in
+  let ref_env = Graph.reference_execute g ~feeds in
+  let r = Compile.execute tg.Graph_tuner.compiled ~feeds in
+  List.iter
+    (fun (tname, actual) ->
+      let expected = List.assoc tname ref_env in
+      if not (Buffer.allclose ~tol:1e-3 expected actual) then
+        Alcotest.failf "tuned r18: %s differs by %g" tname
+          (Buffer.max_abs_diff expected actual))
+    r.Compile.outputs
+
+let test_tuned_bert_correct () =
+  let m = Zoo.bert_tiny () in
+  let g = m.Zoo.graph in
+  let tg =
+    Graph_tuner.tune_graph ~system:Graph_tuner.Galt_wp
+      ~machine:Machine.arm_cpu ~budget:40 ~max_points:8000 g
+  in
+  let feeds = Graph.random_feeds g in
+  let ref_env = Graph.reference_execute g ~feeds in
+  let r = Compile.execute tg.Graph_tuner.compiled ~feeds in
+  List.iter
+    (fun (tname, actual) ->
+      let expected = List.assoc tname ref_env in
+      if not (Buffer.allclose ~tol:5e-3 expected actual) then
+        Alcotest.failf "tuned bert: %s differs by %g" tname
+          (Buffer.max_abs_diff expected actual))
+    r.Compile.outputs
+
+let () =
+  Alcotest.run "alt_models"
+    [
+      ( "structure",
+        [ Alcotest.test_case "complex op counts" `Quick check_model_structure ]
+      );
+      ( "correctness",
+        [
+          Alcotest.test_case "resnet18 tiny" `Quick test_r18_tiny_correct;
+          Alcotest.test_case "mobilenet-v2 tiny" `Quick test_mv2_tiny_correct;
+          Alcotest.test_case "bert tiny" `Quick test_bert_tiny_correct;
+          Alcotest.test_case "resnet3d tiny" `Quick test_r3d_tiny_correct;
+        ] );
+      ( "tuned",
+        [
+          Alcotest.test_case "ALT-tuned resnet is correct" `Slow
+            test_tuned_r18_correct;
+          Alcotest.test_case "ALT-WP-tuned bert is correct" `Slow
+            test_tuned_bert_correct;
+        ] );
+    ]

@@ -1,0 +1,161 @@
+(* Cross-module property tests: randomized layout pairs through conversion
+   programs, randomized template choices through the full graph pipeline,
+   and schedule legalization laws. *)
+
+open Alt_tensor
+module Opdef = Alt_ir.Opdef
+module Schedule = Alt_ir.Schedule
+module Lower = Alt_ir.Lower
+module Ops = Alt_graph.Ops
+module Graph = Alt_graph.Graph
+module Propagate = Alt_graph.Propagate
+module Compile = Alt_graph.Compile
+module Profiler = Alt_machine.Profiler
+module Templates = Alt_tuner.Templates
+module Loopspace = Alt_tuner.Loopspace
+module Measure = Alt_tuner.Measure
+module Machine = Alt_machine.Machine
+
+
+(* random invertible layout on a given shape *)
+let gen_basic_layout shape =
+  let open QCheck2.Gen in
+  let rec add l n =
+    if n = 0 then return l
+    else
+      let phys = Layout.physical_shape l in
+      let rank = Shape.rank phys in
+      let* c = int_range 0 2 in
+      let* l' =
+        match c with
+        | 0 ->
+            let* dim = int_range 0 (rank - 1) in
+            let* f = oneofl (Shape.divisors phys.(dim)) in
+            return (Layout.split l ~dim ~factors:[ phys.(dim) / f; f ])
+        | 1 ->
+            let* i = int_range 0 (rank - 1) in
+            let* j = int_range 0 (rank - 1) in
+            let perm = Array.init rank Fun.id in
+            let t = perm.(i) in
+            perm.(i) <- perm.(j);
+            perm.(j) <- t;
+            return (Layout.reorder l perm)
+        | _ ->
+            if rank >= 2 then
+              let* dim = int_range 0 (rank - 2) in
+              return (Layout.fuse l ~dim ~count:2)
+            else return l
+      in
+      add l' (n - 1)
+  in
+  let open QCheck2.Gen in
+  int_range 0 3 >>= add (Layout.create shape)
+
+(* conversion program between two random layouts produces exactly
+   pack(dst) of the logical data *)
+let prop_conversion_equals_pack =
+  let shape = [| 4; 6; 8 |] in
+  QCheck2.Test.make ~count:40 ~name:"conversion program == Layout.pack"
+    QCheck2.Gen.(pair (gen_basic_layout shape) (gen_basic_layout shape))
+    (fun (src, dst) ->
+      let logical = Buffer.iota shape in
+      let prog = Lower.conversion ~src ~dst () in
+      let bufs =
+        [|
+          Layout.pack src logical;
+          Array.make (Layout.num_physical_elements dst) Float.nan;
+        |]
+      in
+      let _ = Profiler.run prog ~bufs in
+      Buffer.allclose (Layout.pack dst logical) bufs.(1))
+
+(* random template choices + random loop points through the whole graph
+   pipeline stay correct *)
+let conv_graph () =
+  let n, i, o, hw = (1, 4, 8, 8) in
+  let b = Graph.builder () in
+  let x = Graph.input b "x" [| n; i; hw; hw |] in
+  let k = Graph.param b "k" [| o; i; 3; 3 |] in
+  let bias = Graph.param b "bias" [| o |] in
+  let xp = Graph.add b (Ops.pad2d ~name:"pad" ~inp:x ~out:"xp" ~n ~c:i ~h:hw ~w:hw ~pad:1 ()) in
+  let y = Graph.add b (Ops.c2d ~name:"conv" ~inp:xp ~ker:k ~out:"y" ~n ~i ~o ~h:hw ~w:hw ~kh:3 ~kw:3 ()) in
+  let yb = Graph.add b (Ops.bias_add ~name:"bias0" ~inp:y ~bias ~out:"yb" ~shape:[| n; o; hw; hw |] ~dim:1 ()) in
+  let yr = Graph.add b (Ops.relu ~name:"relu" ~inp:yb ~out:"yr" ~shape:[| n; o; hw; hw |] ()) in
+  Graph.finish b ~outputs:[ yr ]
+
+let prop_random_choice_graph_correct =
+  QCheck2.Test.make ~count:15 ~name:"random template choice keeps graphs correct"
+    QCheck2.Gen.(array_size (return 6) (float_bound_exclusive 1.0))
+    (fun actions ->
+      let g = conv_graph () in
+      let conv =
+        List.find
+          (fun (n : Graph.node) -> n.Graph.op.Opdef.name = "conv")
+          (Graph.complex_nodes g)
+      in
+      let tpl = Option.get (Templates.for_op conv.Graph.op) in
+      let choice = tpl.Templates.decode actions in
+      let plan = Propagate.plan g ~choices:[ ("conv", choice) ] in
+      let compiled = Compile.compile g plan in
+      let feeds = Graph.random_feeds g in
+      let expected = Graph.reference_execute g ~feeds in
+      let r = Compile.execute compiled ~feeds in
+      List.for_all
+        (fun (name, actual) ->
+          Buffer.allclose ~tol:1e-4 (List.assoc name expected) actual)
+        r.Compile.outputs)
+
+(* legalize is idempotent and always emits divisors *)
+let prop_legalize_idempotent =
+  QCheck2.Test.make ~count:100 ~name:"Schedule.legalize idempotent"
+    QCheck2.Gen.(
+      pair
+        (array_size (return 3) (int_range 1 40))
+        (array_size (return 2) (int_range 1 40)))
+    (fun (sp, rt) ->
+      let phys = [| 12; 18; 32 |] and reds = [| 9; 16 |] in
+      let s = Schedule.default ~rank:3 ~nred:2 in
+      let s = Array.to_list sp |> List.mapi (fun i f -> (i, f))
+              |> List.fold_left (fun s (i, f) -> Schedule.split s ~dim:i ~inner:f) s in
+      let s = Array.to_list rt |> List.mapi (fun i f -> (i, f))
+              |> List.fold_left (fun s (i, f) -> Schedule.split_reduce s ~index:i ~inner:f) s in
+      let l1 = Schedule.legalize s ~phys ~reduce_extents:reds in
+      let l2 = Schedule.legalize l1 ~phys ~reduce_extents:reds in
+      l1 = l2
+      && Array.for_all2 (fun e f -> e mod f = 0) phys l1.Schedule.sp_tiles
+      && Array.for_all2 (fun e f -> e mod f = 0) reds l1.Schedule.r_tiles)
+
+(* any loop-space point measured through the tuner harness is correct *)
+let prop_measured_points_correct =
+  let op =
+    Ops.c2d ~name:"c" ~inp:"X" ~ker:"K" ~out:"Y" ~n:1 ~i:4 ~o:8 ~h:6 ~w:6
+      ~kh:3 ~kw:3 ()
+  in
+  QCheck2.Test.make ~count:20 ~name:"measured candidates compute correctly"
+    QCheck2.Gen.(array_size (return 11) (float_bound_exclusive 1.0))
+    (fun point ->
+      let choice = Templates.channels_last_choice op in
+      let space = Loopspace.of_layout op choice.Propagate.out_layout in
+      let sched = Loopspace.decode space point in
+      let task = Measure.make_task ~machine:Machine.intel_cpu op in
+      match Measure.program_of task choice sched with
+      | None -> false
+      | Some prog ->
+          let inputs = task.Measure.feeds in
+          let expected = Opdef.reference_eval op inputs in
+          let outs, _ = Alt_machine.Runtime.run_logical prog ~inputs in
+          Buffer.allclose ~tol:1e-4 expected (List.assoc "Y" outs))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "alt_props"
+    [
+      qsuite "cross-module"
+        [
+          prop_conversion_equals_pack;
+          prop_random_choice_graph_correct;
+          prop_legalize_idempotent;
+          prop_measured_points_correct;
+        ];
+    ]

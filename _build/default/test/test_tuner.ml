@@ -1,0 +1,302 @@
+(* Tests for the auto-tuning stack: layout templates, the loop space, the
+   GBDT cost model, MLP gradients, PPO learning, and the end-to-end tuners
+   (ALT and every baseline system). *)
+
+open Alt_tensor
+module Opdef = Alt_ir.Opdef
+module Ops = Alt_graph.Ops
+module Propagate = Alt_graph.Propagate
+module Machine = Alt_machine.Machine
+module Templates = Alt_tuner.Templates
+module Loopspace = Alt_tuner.Loopspace
+module Measure = Alt_tuner.Measure
+module Tuner = Alt_tuner.Tuner
+module Gbdt = Alt_costmodel.Gbdt
+module Mlp = Alt_rl.Mlp
+module Ppo = Alt_rl.Ppo
+
+let small_c2d () =
+  Ops.c2d ~name:"c2d" ~inp:"X" ~ker:"K" ~out:"Y" ~n:1 ~i:8 ~o:16 ~h:8 ~w:8
+    ~kh:3 ~kw:3 ()
+
+let small_gmm () =
+  Ops.gmm ~name:"gmm" ~a:"A" ~b:"B" ~out:"C" ~m:16 ~k:16 ~n:16 ()
+
+(* ------------------------------------------------------------------ *)
+(* Templates                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_conv_template_shape () =
+  let op = small_c2d () in
+  let tpl = Option.get (Templates.for_op op) in
+  (* knobs: ht, wt, ot, it, it', ot' *)
+  Alcotest.(check int) "six knobs" 6 (Array.length tpl.Templates.knobs);
+  let choice = tpl.Templates.decode [| 0.5; 0.5; 0.25; 0.5; 0.5; 0.25 |] in
+  (* output physical rank: N + 3 outers + 3 inners = 7 *)
+  Alcotest.(check int) "out rank" 7
+    (Shape.rank (Layout.physical_shape choice.Propagate.out_layout));
+  let inp_layout = List.assoc "X" choice.Propagate.in_layouts in
+  Alcotest.(check bool) "input unfolded" true (Layout.has_advanced inp_layout)
+
+let test_conv_template_two_level () =
+  let op = small_c2d () in
+  let tpl = Option.get (Templates.for_op ~levels:2 op) in
+  (* 2 spatial + ot + 2 spatial-mid + ot2 + it + it' + ot' *)
+  Alcotest.(check int) "nine knobs" 9 (Array.length tpl.Templates.knobs);
+  let a = Array.make 9 0.5 in
+  let choice = tpl.Templates.decode a in
+  Alcotest.(check int) "out rank (two-level)" 10
+    (Shape.rank (Layout.physical_shape choice.Propagate.out_layout))
+
+let test_matmul_template () =
+  let op = small_gmm () in
+  let tpl = Option.get (Templates.for_op op) in
+  Alcotest.(check int) "three knobs" 3 (Array.length tpl.Templates.knobs);
+  let choice = tpl.Templates.decode [| 0.25; 0.25; 0.25 |] in
+  Alcotest.(check int) "blocked C rank" 4
+    (Shape.rank (Layout.physical_shape choice.Propagate.out_layout))
+
+(* Template-decoded candidates must both lower AND compute correct results. *)
+let prop_template_candidates_correct =
+  QCheck2.Test.make ~count:12 ~name:"template candidates correct"
+    QCheck2.Gen.(array_size (return 6) (float_bound_exclusive 1.0))
+    (fun actions ->
+      let op = small_c2d () in
+      let tpl = Option.get (Templates.for_op op) in
+      let choice = tpl.Templates.decode actions in
+      let task = Measure.make_task ~machine:Machine.intel_cpu op in
+      let schedule =
+        Alt_ir.Schedule.default
+          ~rank:(Shape.rank (Layout.physical_shape choice.Propagate.out_layout))
+          ~nred:3
+      in
+      match Measure.program_of task choice schedule with
+      | None -> false
+      | Some prog ->
+          let inputs = task.Measure.feeds in
+          let expected = Opdef.reference_eval op inputs in
+          let outs, _ = Alt_machine.Runtime.run_logical prog ~inputs in
+          Buffer.allclose ~tol:1e-4 expected (List.assoc "Y" outs))
+
+let test_fixed_choices () =
+  let op = small_c2d () in
+  List.iter
+    (fun (nm, choice) ->
+      let task = Measure.make_task ~machine:Machine.intel_cpu op in
+      let sched =
+        Alt_ir.Schedule.default
+          ~rank:(Shape.rank (Layout.physical_shape choice.Propagate.out_layout))
+          ~nred:3
+      in
+      match Measure.measure task choice sched with
+      | Some r ->
+          Alcotest.(check bool) (nm ^ " finite") true
+            (Float.is_finite r.Alt_machine.Profiler.latency_ms)
+      | None -> Alcotest.failf "%s did not lower" nm)
+    [
+      ("trivial", Templates.trivial_choice op);
+      ("channels_last", Templates.channels_last_choice op);
+      ("hwon", Templates.hwon_choice op);
+      ("blocked", Templates.blocked_choice op ~block:8);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Loop space                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_loopspace_decode () =
+  let op = small_c2d () in
+  let space = Loopspace.of_layout op (Layout.create [| 1; 16; 8; 8 |]) in
+  Alcotest.(check int) "dim" (4 + 3 + 4) (Loopspace.dim space);
+  let rng = Random.State.make [| 3 |] in
+  for _ = 1 to 50 do
+    let v = Loopspace.random_point ~rng space in
+    let s = Loopspace.decode space v in
+    (* all tiles must divide the extents *)
+    Array.iteri
+      (fun d t -> Alcotest.(check int) "divides" 0 ([| 1; 16; 8; 8 |].(d) mod t))
+      s.Alt_ir.Schedule.sp_tiles
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Cost model                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_gbdt_fits_synthetic () =
+  let rng = Random.State.make [| 7 |] in
+  let f x = (3.0 *. x.(0)) +. (x.(1) *. x.(1)) -. (2.0 *. x.(2)) in
+  let sample () =
+    Array.init 5 (fun _ -> Random.State.float rng 2.0 -. 1.0)
+  in
+  let xs = Array.init 300 (fun _ -> sample ()) in
+  let ys = Array.map f xs in
+  let model = Gbdt.fit xs ys in
+  let xs_test = Array.init 100 (fun _ -> sample ()) in
+  let ys_test = Array.map f xs_test in
+  let r2 = Gbdt.r2 model xs_test ys_test in
+  Alcotest.(check bool) (Fmt.str "r2 %.3f > 0.8" r2) true (r2 > 0.8)
+
+let test_gbdt_empty () =
+  let model = Gbdt.fit [||] [||] in
+  Alcotest.(check (float 0.0)) "zero" 0.0 (Gbdt.predict model [| 1.0 |])
+
+(* ------------------------------------------------------------------ *)
+(* MLP gradient check                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_mlp_gradients () =
+  let net = Mlp.create ~seed:3 [| 4; 6; 2 |] in
+  let x = [| 0.3; -0.5; 0.8; 0.1 |] in
+  (* loss = sum of outputs squared *)
+  let loss () =
+    let out = Mlp.forward net x in
+    Array.fold_left (fun a v -> a +. (v *. v)) 0.0 out
+  in
+  Mlp.zero_grads net;
+  let out, cache = Mlp.forward_cache net x in
+  ignore (Mlp.backward net cache ~dout:(Array.map (fun v -> 2.0 *. v) out));
+  (* compare a few analytic grads against finite differences *)
+  let layer = net.Mlp.layers.(0) in
+  let eps = 1e-5 in
+  for o = 0 to 1 do
+    for i = 0 to 1 do
+      let saved = layer.Mlp.w.(o).(i) in
+      layer.Mlp.w.(o).(i) <- saved +. eps;
+      let lp = loss () in
+      layer.Mlp.w.(o).(i) <- saved -. eps;
+      let lm = loss () in
+      layer.Mlp.w.(o).(i) <- saved;
+      let fd = (lp -. lm) /. (2.0 *. eps) in
+      let an = layer.Mlp.gw.(o).(i) in
+      if Float.abs (fd -. an) > 1e-3 *. (1.0 +. Float.abs fd) then
+        Alcotest.failf "grad mismatch w[%d][%d]: fd=%g an=%g" o i fd an
+    done
+  done
+
+let test_mlp_learns () =
+  (* regression: y = x0 - x1 *)
+  let net = Mlp.create ~seed:5 [| 2; 8; 1 |] in
+  let rng = Random.State.make [| 5 |] in
+  for _ = 1 to 600 do
+    Mlp.zero_grads net;
+    for _ = 1 to 8 do
+      let x = [| Random.State.float rng 2.0 -. 1.0; Random.State.float rng 2.0 -. 1.0 |] in
+      let target = x.(0) -. x.(1) in
+      let out, cache = Mlp.forward_cache net x in
+      ignore (Mlp.backward net cache ~dout:[| 2.0 *. (out.(0) -. target) /. 8.0 |])
+    done;
+    Mlp.adam_step ~lr:5e-3 net
+  done;
+  let err = ref 0.0 in
+  for _ = 1 to 50 do
+    let x = [| Random.State.float rng 2.0 -. 1.0; Random.State.float rng 2.0 -. 1.0 |] in
+    let out = Mlp.forward net x in
+    err := Float.max !err (Float.abs (out.(0) -. (x.(0) -. x.(1))))
+  done;
+  Alcotest.(check bool) (Fmt.str "max err %.3f < 0.2" !err) true (!err < 0.2)
+
+(* ------------------------------------------------------------------ *)
+(* PPO                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ppo_converges () =
+  (* maximize reward = -|a - 0.7| on a constant state *)
+  let agent = Ppo.create ~seed:1 ~state_dim:3 () in
+  let state = [| 1.0; 0.0; 0.5 |] in
+  for _ = 1 to 120 do
+    let batch =
+      List.init 16 (fun _ ->
+          let a, s = Ppo.act agent state in
+          s.Ppo.reward <- -.Float.abs (a -. 0.7);
+          s)
+    in
+    Ppo.update agent batch
+  done;
+  let a, _ = Ppo.act ~explore:false agent state in
+  Alcotest.(check bool) (Fmt.str "mean %.3f near 0.7" a) true
+    (Float.abs (a -. 0.7) < 0.12)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end tuners                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_all_systems_run () =
+  let op = small_c2d () in
+  List.iter
+    (fun sys ->
+      let task = Measure.make_task ~machine:Machine.intel_cpu ~max_points:8000 op in
+      let r = Tuner.tune_op ~system:sys ~budget:24 task in
+      Alcotest.(check bool)
+        (Tuner.system_name sys ^ " finite")
+        true
+        (Float.is_finite r.Tuner.best_latency);
+      if sys <> Tuner.Vendor then
+        Alcotest.(check bool)
+          (Tuner.system_name sys ^ " respects budget")
+          true (r.Tuner.spent <= 24))
+    [
+      Tuner.Vendor; Tuner.Autotvm_like; Tuner.Flextensor_like;
+      Tuner.Ansor_like; Tuner.Alt_ol; Tuner.Alt;
+    ]
+
+let test_history_monotone () =
+  let op = small_gmm () in
+  let task = Measure.make_task ~machine:Machine.intel_cpu ~max_points:8000 op in
+  let r = Tuner.tune_op ~system:Tuner.Alt ~budget:32 task in
+  let rec check prev = function
+    | [] -> ()
+    | (_, best) :: tl ->
+        Alcotest.(check bool) "monotone non-increasing" true (best <= prev +. 1e-9);
+        check best tl
+  in
+  check Float.infinity r.Tuner.history
+
+let test_alt_improves_over_default () =
+  let op = small_c2d () in
+  let task = Measure.make_task ~machine:Machine.intel_cpu ~max_points:8000 op in
+  let default_sched = Alt_ir.Schedule.default ~rank:4 ~nred:3 in
+  let base =
+    Measure.latency_of
+      (Measure.measure task (Templates.trivial_choice op) default_sched)
+  in
+  let task2 = Measure.make_task ~machine:Machine.intel_cpu ~max_points:8000 op in
+  let r = Tuner.tune_op ~system:Tuner.Alt ~budget:48 task2 in
+  Alcotest.(check bool)
+    (Fmt.str "tuned %.4f < default %.4f" r.Tuner.best_latency base)
+    true
+    (r.Tuner.best_latency < base)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "alt_tuner"
+    [
+      ( "templates",
+        [
+          Alcotest.test_case "conv knobs/shape" `Quick test_conv_template_shape;
+          Alcotest.test_case "conv two-level" `Quick test_conv_template_two_level;
+          Alcotest.test_case "matmul" `Quick test_matmul_template;
+          Alcotest.test_case "fixed choices lower" `Quick test_fixed_choices;
+        ] );
+      qsuite "template-props" [ prop_template_candidates_correct ];
+      ( "loopspace",
+        [ Alcotest.test_case "decode legal" `Quick test_loopspace_decode ] );
+      ( "gbdt",
+        [
+          Alcotest.test_case "fits synthetic" `Quick test_gbdt_fits_synthetic;
+          Alcotest.test_case "empty" `Quick test_gbdt_empty;
+        ] );
+      ( "mlp",
+        [
+          Alcotest.test_case "gradient check" `Quick test_mlp_gradients;
+          Alcotest.test_case "learns regression" `Quick test_mlp_learns;
+        ] );
+      ("ppo", [ Alcotest.test_case "converges" `Quick test_ppo_converges ]);
+      ( "tuners",
+        [
+          Alcotest.test_case "all systems run" `Slow test_all_systems_run;
+          Alcotest.test_case "history monotone" `Quick test_history_monotone;
+          Alcotest.test_case "ALT beats default" `Slow
+            test_alt_improves_over_default;
+        ] );
+    ]
