@@ -1,0 +1,17 @@
+# Tier-1 gate: everything builds, every test suite passes.
+.PHONY: all check test bench clean
+
+all:
+	dune build @all
+
+test:
+	dune runtest
+
+check: all test
+
+# quick-scale regeneration of the paper's tables and figures
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -23,6 +23,19 @@ let scale_name =
 let pick ~smoke ~quick ~full =
   match scale with Smoke -> smoke | Quick -> quick | Full -> full
 
+(* Measurement parallelism for the tuning drivers.  Defaults from ALT_JOBS;
+   bench/main.ml overrides it from a --jobs flag.  0 = all cores.  Tuning
+   results are identical for every value (the engine's determinism
+   contract); only wall-clock time changes. *)
+let jobs =
+  ref
+    (match Sys.getenv_opt "ALT_JOBS" with
+    | Some s -> (try int_of_string (String.trim s) with _ -> 1)
+    | None -> 1)
+
+let effective_jobs () =
+  if !jobs <= 0 then Pool.default_jobs () else !jobs
+
 let section title =
   Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '=')
 

@@ -173,7 +173,10 @@ let run () =
                   (fun sys ->
                     let op = mk (Fmt.str "%s_%d" fam ci) in
                     let task = Measure.make_task ~machine ~max_points op in
-                    let r = Tuner.tune_op ~system:sys ~budget task in
+                    let r =
+                      Tuner.tune_op ~jobs:(effective_jobs ()) ~system:sys
+                        ~budget task
+                    in
                     if sys = Tuner.Alt && machine.Machine.name = "intel-cpu"
                     then
                       Option.iter

@@ -24,11 +24,25 @@ let experiments =
   ]
 
 let () =
-  Fmt.pr "ALT experiment harness (scale=%s)@." Bench_util.scale_name;
+  (* strip "--jobs N" (or "-j N") anywhere in the argument list; what
+     remains are experiment names *)
+  let rec split_args acc = function
+    | [] -> List.rev acc
+    | ("--jobs" | "-j") :: n :: rest ->
+        (Bench_util.jobs :=
+           try int_of_string n
+           with _ -> Fmt.failwith "--jobs expects an integer, got %S" n);
+        split_args acc rest
+    | ("--jobs" | "-j") :: [] -> Fmt.failwith "--jobs expects an integer"
+    | a :: rest -> split_args (a :: acc) rest
+  in
+  let names =
+    split_args [] (List.tl (Array.to_list Sys.argv))
+  in
+  Fmt.pr "ALT experiment harness (scale=%s, jobs=%d)@." Bench_util.scale_name
+    (Bench_util.effective_jobs ());
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match names with [] -> List.map fst experiments | names -> names
   in
   List.iter
     (fun name ->

@@ -38,6 +38,17 @@ let budget_arg =
 let seed_arg =
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domains used for concurrent measurements (0 = all cores).  The \
+           tuning result is identical for every value; only wall-clock time \
+           changes.")
+
+let resolve_jobs jobs = if jobs <= 0 then Pool.default_jobs () else jobs
+
 let op_kind_arg =
   Arg.(
     value & opt string "c2d"
@@ -115,16 +126,22 @@ let system_arg =
         ~doc:"Tuner: vendor, autotvm, flextensor, ansor, alt, alt-ol.")
 
 let tune_op_cmd =
-  let run machine budget seed kind batch channels out_channels spatial kernel
-      stride system =
+  let run machine budget seed jobs kind batch channels out_channels spatial
+      kernel stride system =
     setup_logs ();
+    let jobs = resolve_jobs jobs in
     let op =
       make_op kind ~batch ~channels ~out_channels ~spatial ~kernel ~stride
     in
     let task = Measure.make_task ~machine op in
-    let r = Tuner.tune_op ~seed ~system ~budget task in
+    let t0 = Unix.gettimeofday () in
+    let r = Tuner.tune_op ~seed ~jobs ~system ~budget task in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let stats = Measure.cache_stats task in
     Fmt.pr "system      : %s@." (Tuner.system_name system);
     Fmt.pr "machine     : %a@." Machine.pp machine;
+    Fmt.pr "jobs        : %d (%.2fs wall; cache %d hits / %d misses)@." jobs
+      elapsed stats.Measure.hits stats.Measure.misses;
     Fmt.pr "best latency: %.5f ms (after %d measurements)@." r.Tuner.best_latency
       r.Tuner.spent;
     Fmt.pr "out layout  : %a@." Layout.pp r.Tuner.best_choice.Propagate.out_layout;
@@ -135,9 +152,9 @@ let tune_op_cmd =
   in
   Cmd.v (Cmd.info "tune-op" ~doc:"Tune a single operator.")
     Term.(
-      const run $ machine_arg $ budget_arg $ seed_arg $ op_kind_arg $ batch_arg
-      $ channels_arg $ out_channels_arg $ spatial_arg $ kernel_arg $ stride_arg
-      $ system_arg)
+      const run $ machine_arg $ budget_arg $ seed_arg $ jobs_arg $ op_kind_arg
+      $ batch_arg $ channels_arg $ out_channels_arg $ spatial_arg $ kernel_arg
+      $ stride_arg $ system_arg)
 
 (* ------------------------------------------------------------------ *)
 (* tune-model                                                         *)
@@ -163,8 +180,9 @@ let gsystem_arg =
         ~doc:"System: vendor, autotvm, ansor, alt, alt-ol, alt-wp.")
 
 let tune_model_cmd =
-  let run machine budget seed model batch system =
+  let run machine budget seed jobs model batch system =
     setup_logs ();
+    let jobs = resolve_jobs jobs in
     let spec =
       match model with
       | "r18" -> Zoo.resnet18 ~batch ()
@@ -178,7 +196,8 @@ let tune_model_cmd =
       (Graph_tuner.gsystem_name system)
       Machine.pp machine budget;
     let tg =
-      Graph_tuner.tune_graph ~seed ~system ~machine ~budget spec.Zoo.graph
+      Graph_tuner.tune_graph ~seed ~jobs ~system ~machine ~budget
+        spec.Zoo.graph
     in
     let r = Graph_tuner.run tg ~machine in
     Fmt.pr "end-to-end latency: %.4f ms@." r.Compile.latency_ms;
@@ -190,8 +209,8 @@ let tune_model_cmd =
   in
   Cmd.v (Cmd.info "tune-model" ~doc:"Tune and run an end-to-end model.")
     Term.(
-      const run $ machine_arg $ budget_arg $ seed_arg $ model_arg $ batch_arg
-      $ gsystem_arg)
+      const run $ machine_arg $ budget_arg $ seed_arg $ jobs_arg $ model_arg
+      $ batch_arg $ gsystem_arg)
 
 (* ------------------------------------------------------------------ *)
 (* show-op                                                            *)

@@ -33,6 +33,9 @@ module Cache = Alt_machine.Cache
 module Profiler = Alt_machine.Profiler
 module Runtime = Alt_machine.Runtime
 
+(* --- measurement parallelism --- *)
+module Pool = Alt_parallel.Pool
+
 (* --- learning components --- *)
 module Features = Alt_costmodel.Features
 module Gbdt = Alt_costmodel.Gbdt
@@ -52,20 +55,22 @@ module Zoo = Alt_models.Zoo
 (** Jointly tune layouts and loops of a single operator with ALT's
     two-stage tuner.  [budget] counts simulated on-device measurements;
     30% goes to the joint stage and 70% to the loop-only stage, as in the
-    paper's single-operator setup. *)
+    paper's single-operator setup.  [jobs] parallelizes the measurements
+    without changing the result (see DESIGN.md §7). *)
 let tune_operator ?(machine = Machine.intel_cpu) ?(budget = 200)
-    ?(max_points = 40_000) ?seed ?levels (op : Opdef.t) : Tuner.result =
+    ?(max_points = 40_000) ?seed ?jobs ?levels (op : Opdef.t) : Tuner.result =
   let task = Measure.make_task ~machine ~max_points op in
-  Tuner.tune_alt ?seed ?levels
+  Tuner.tune_alt ?seed ?jobs ?levels
     ~joint_budget:(budget * 3 / 10)
     ~loop_budget:(budget * 7 / 10)
     task
 
 (** Tune and compile an end-to-end model. *)
 let compile_model ?(system = Graph_tuner.Galt) ?(machine = Machine.intel_cpu)
-    ?(budget = 400) ?max_points ?seed ?levels (g : Graph.t) :
+    ?(budget = 400) ?max_points ?seed ?jobs ?levels (g : Graph.t) :
     Graph_tuner.tuned_graph =
-  Graph_tuner.tune_graph ?seed ?levels ?max_points ~system ~machine ~budget g
+  Graph_tuner.tune_graph ?seed ?jobs ?levels ?max_points ~system ~machine
+    ~budget g
 
 (** Execute a tuned model on its machine model and report the simulated
     end-to-end latency. *)

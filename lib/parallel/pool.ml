@@ -1,0 +1,79 @@
+(* Deterministic task pool on OCaml 5 domains (see the .mli for the
+   contract).
+
+   Domains are spawned per batch rather than kept resident: a batch of
+   cache simulations runs for milliseconds to seconds, so the ~10us spawn
+   cost is noise, and per-batch domains make the drain guarantee trivial —
+   workers can only exit by exhausting the task cursor, and [map] joins
+   every domain before returning or re-raising.  Task results (and any
+   exceptions) land in a slot array indexed by submission position, which
+   is what makes the output order independent of execution order. *)
+
+type t = { jobs : int }
+
+exception Nested_pool
+
+(* Domain-local flag marking "this domain is currently executing a pool
+   task"; checked on entry to [map] to reject nested parallelism.  Worker
+   domains are fresh per batch so their flag starts false; the calling
+   domain participates in the drain and resets its flag afterwards. *)
+let in_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let create ?(jobs = 1) () =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  { jobs }
+
+let jobs t = t.jobs
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let check_not_nested () = if Domain.DLS.get in_task then raise Nested_pool
+
+type 'b slot = Empty | Done of 'b | Failed of exn * Printexc.raw_backtrace
+
+let map_array t (f : 'a -> 'b) (xs : 'a array) : 'b array =
+  check_not_nested ();
+  let n = Array.length xs in
+  if t.jobs = 1 || n <= 1 then
+    (* degenerate serial path: run on the calling domain, first exception
+       propagates immediately — exactly Array.map *)
+    Array.map
+      (fun x ->
+        Domain.DLS.set in_task true;
+        Fun.protect ~finally:(fun () -> Domain.DLS.set in_task false)
+          (fun () -> f x))
+      xs
+  else begin
+    let slots = Array.make n Empty in
+    let cursor = Atomic.make 0 in
+    let worker () =
+      Domain.DLS.set in_task true;
+      let rec drain () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          (slots.(i) <-
+            (try Done (f xs.(i))
+             with e -> Failed (e, Printexc.get_raw_backtrace ())));
+          drain ()
+        end
+      in
+      drain ();
+      Domain.DLS.set in_task false
+    in
+    let helpers =
+      Array.init (min (t.jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join helpers;
+    (* deterministic error choice: the lowest submission index wins *)
+    Array.iter
+      (function
+        | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Empty | Done _ -> ())
+      slots;
+    Array.map
+      (function Done r -> r | Empty | Failed _ -> assert false)
+      slots
+  end
+
+let map t f xs = Array.to_list (map_array t f (Array.of_list xs))

@@ -1,0 +1,43 @@
+(** A deterministic, work-stealing-free task pool on OCaml 5 domains.
+
+    The pool exists so the tuner's "on-device measurements" (trace-driven
+    cache simulations) can run concurrently while the tuning trajectory
+    stays byte-identical to a serial run: [map] always returns results in
+    submission order, regardless of which domain executed which task or in
+    what order tasks finished.  Tasks are distributed by an atomic cursor
+    over the submission list (work sharing, no stealing, no reordering).
+
+    Determinism contract:
+    - [map pool f xs] returns exactly [List.map f xs] whenever no task
+      raises, for every pool size;
+    - with [jobs = 1] the map degenerates to [List.map] on the calling
+      domain — no domain is spawned and an exception propagates
+      immediately, exactly like [List.map];
+    - with [jobs > 1], every task is still executed (the batch drains, so
+      no worker domain is left hung), all domains are joined, and then the
+      exception of the {e lowest-indexed} failing task is re-raised with
+      its backtrace;
+    - nested use (calling [map] from inside a pool task) is rejected with
+      [Nested_pool], because worker domains draining an inner batch while
+      holding outer-batch tasks would deadlock-free but nondeterministically
+      interleave budget accounting upstream. *)
+
+type t
+
+exception Nested_pool
+(** Raised when [map] is called from inside a pool task. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] makes a pool that runs at most [jobs] tasks
+    concurrently ([jobs - 1] helper domains plus the calling domain).
+    Default 1 (serial).  Raises [Invalid_argument] if [jobs < 1]. *)
+
+val jobs : t -> int
+
+val default_jobs : unit -> int
+(** The runtime's recommended domain count — a sensible [--jobs] value. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel map preserving submission order. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array

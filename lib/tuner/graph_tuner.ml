@@ -78,7 +78,7 @@ type tuned_graph = {
   per_task : (string * Tuner.result) list;
 }
 
-let tune_graph ?(seed = 0) ?(levels = 1) ?(max_points = 30_000)
+let tune_graph ?(seed = 0) ?(jobs = 1) ?(levels = 1) ?(max_points = 30_000)
     ~(system : gsystem) ~(machine : Machine.t) ~(budget : int) (g : Graph.t) :
     tuned_graph =
   let complex = Graph.complex_nodes g in
@@ -116,10 +116,12 @@ let tune_graph ?(seed = 0) ?(levels = 1) ?(max_points = 30_000)
       in
       let r =
         match system with
-        | Gvendor -> Tuner.tune_op ~seed ~system:Tuner.Vendor ~budget:per_task_budget task
+        | Gvendor ->
+            Tuner.tune_op ~seed ~jobs ~system:Tuner.Vendor
+              ~budget:per_task_budget task
         | Gautotvm ->
             (* NeoCPU-style: fixed blocked layout, restricted loop space *)
-            Tuner.tune_loop_only ~seed ~explorer:Tuner.Restricted
+            Tuner.tune_loop_only ~seed ~jobs ~explorer:Tuner.Restricted
               ~budget:per_task_budget
               ~layouts:
                 [
@@ -128,7 +130,7 @@ let tune_graph ?(seed = 0) ?(levels = 1) ?(max_points = 30_000)
                 ]
               task
         | Gansor ->
-            Tuner.tune_loop_only ~seed ~explorer:Tuner.Guided
+            Tuner.tune_loop_only ~seed ~jobs ~explorer:Tuner.Guided
               ~budget:per_task_budget
               ~layouts:
                 [
@@ -137,12 +139,12 @@ let tune_graph ?(seed = 0) ?(levels = 1) ?(max_points = 30_000)
                 ]
               task
         | Galt_ol ->
-            Tuner.tune_loop_only ~seed ~explorer:Tuner.Guided
+            Tuner.tune_loop_only ~seed ~jobs ~explorer:Tuner.Guided
               ~budget:per_task_budget
               ~layouts:[ Templates.channels_last_choice node.Graph.op ]
               task
         | Galt | Galt_wp ->
-            Tuner.tune_alt ~seed ~levels
+            Tuner.tune_alt ~seed ~jobs ~levels
               ~joint_budget:(per_task_budget * 4 / 10)
               ~loop_budget:(per_task_budget * 6 / 10)
               task

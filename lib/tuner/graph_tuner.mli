@@ -30,8 +30,10 @@ type tuned_graph = {
 }
 
 val tune_graph :
-  ?seed:int -> ?levels:int -> ?max_points:int -> system:gsystem ->
-  machine:Machine.t -> budget:int -> Graph.t -> tuned_graph
+  ?seed:int -> ?jobs:int -> ?levels:int -> ?max_points:int ->
+  system:gsystem -> machine:Machine.t -> budget:int -> Graph.t -> tuned_graph
+(** [jobs] bounds the domains used for concurrent measurements per tuning
+    task; results are identical for every value (see {!Tuner}). *)
 
 val run :
   ?max_points:int -> ?seed:int -> tuned_graph -> machine:Machine.t ->

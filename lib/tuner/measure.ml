@@ -1,22 +1,48 @@
-(* Measurement harness: one "on-device measurement" of the tuning loop.
+(* Measurement harness: the "on-device measurements" of the tuning loop.
 
    A task fixes the operator (plus the elementwise chain that will be fused
    with it in the end-to-end flow), the machine model, random input data,
    and the per-measurement simulation point budget.  Candidates that fail
    to lower (illegal layout/schedule combinations) report [None] and cost
    no budget, mirroring real tuners that filter invalid configs before
-   measuring. *)
+   measuring.
+
+   Two things distinguish this from a naive measure-one-at-a-time loop:
+
+   - A keyed measurement cache.  Candidates are keyed by a canonical
+     serialization of their *lowered program* (variables renamed to
+     first-occurrence indices), so two (choice, schedule) pairs share a key
+     exactly when they lower to the same program — common in the loop-only
+     stage, where many points of the continuous loop space round to the
+     same divisors.  A hit returns the stored simulator result without
+     re-running the simulation; it still charges one unit of measurement
+     budget, so the tuning trajectory is identical with and without the
+     cache.
+
+   - Batched, optionally parallel simulation ([measure_programs] /
+     [measure_batch]).  Lowering and all mutation of the task (budget,
+     cache, stats) happen on the calling domain in submission order; only
+     the profiler runs of cache misses fan out over a {!Alt_parallel.Pool}.
+     Since the profiler is deterministic and touches no shared state, the
+     results — and therefore the whole tuning trajectory — are
+     byte-identical for any pool size. *)
 
 module Shape = Alt_tensor.Shape
 module Layout = Alt_tensor.Layout
 module Buffer = Alt_tensor.Buffer
+module Var = Alt_tensor.Var
+module Ixexpr = Alt_tensor.Ixexpr
 module Opdef = Alt_ir.Opdef
 module Schedule = Alt_ir.Schedule
 module Lower = Alt_ir.Lower
 module Program = Alt_ir.Program
+module Sexpr = Alt_ir.Sexpr
 module Machine = Alt_machine.Machine
 module Profiler = Alt_machine.Profiler
 module Propagate = Alt_graph.Propagate
+module Pool = Alt_parallel.Pool
+
+type cache_stats = { mutable hits : int; mutable misses : int }
 
 type task = {
   op : Opdef.t;
@@ -25,6 +51,9 @@ type task = {
   max_points : int;
   feeds : (string * float array) list; (* logical data for all inputs *)
   mutable spent : int; (* measurements consumed *)
+  cache : (string, Profiler.result) Hashtbl.t;
+      (* canonical program digest -> simulator result *)
+  stats : cache_stats;
 }
 
 (* All external input tensors of the task (op inputs + fused extras). *)
@@ -48,7 +77,18 @@ let make_task ?(fused = []) ?(max_points = 40_000) ?(seed = 11) ~machine op =
       (fun i (n, s) -> (n, Buffer.random ~seed:(seed + i) s))
       (task_inputs op fused)
   in
-  { op; fused; machine; max_points; feeds; spent = 0 }
+  {
+    op;
+    fused;
+    machine;
+    max_points;
+    feeds;
+    spent = 0;
+    cache = Hashtbl.create 64;
+    stats = { hits = 0; misses = 0 };
+  }
+
+let cache_stats t = t.stats
 
 (* Build the program for a candidate; None if the combination is illegal. *)
 let program_of (t : task) (choice : Propagate.choice) (schedule : Schedule.t) :
@@ -78,25 +118,266 @@ let program_of (t : task) (choice : Propagate.choice) (schedule : Schedule.t) :
          ~fused ~schedule ())
   with Lower.Lower_error _ | Layout.Layout_error _ | Invalid_argument _ -> None
 
+(* ------------------------------------------------------------------ *)
+(* Canonical program serialization (cache keys)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Serialize a program with variables renamed to first-occurrence indices,
+   so the key is invariant under the global [Var] counter state: lowering
+   the same candidate twice yields the same key even though the loop
+   variables carry fresh ids.  Everything the simulator reads is included
+   (slot layouts, loop kinds and extents, access expressions, statement
+   structure); everything it ignores (variable names, the program name) is
+   left out. *)
+let program_key (p : Program.t) : string =
+  let buf = Stdlib.Buffer.create 512 in
+  let add = Stdlib.Buffer.add_string buf in
+  let ids : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let vid v =
+    let id = Var.id v in
+    match Hashtbl.find_opt ids id with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length ids in
+        Hashtbl.add ids id i;
+        i
+  in
+  let rec ix (e : Ixexpr.t) =
+    match e with
+    | Ixexpr.Const n -> add (string_of_int n)
+    | Ixexpr.Var v ->
+        add "v";
+        add (string_of_int (vid v))
+    | Ixexpr.Add (a, b) -> bin "+" a b
+    | Ixexpr.Sub (a, b) -> bin "-" a b
+    | Ixexpr.Mul (a, b) -> bin "*" a b
+    | Ixexpr.Div (a, b) -> bin "/" a b
+    | Ixexpr.Mod (a, b) -> bin "%" a b
+    | Ixexpr.Min (a, b) -> bin "_" a b
+    | Ixexpr.Max (a, b) -> bin "^" a b
+  and bin op a b =
+    add "(";
+    ix a;
+    add op;
+    ix b;
+    add ")"
+  in
+  let access (a : Program.access) =
+    add "s";
+    add (string_of_int a.Program.slot);
+    add "[";
+    Array.iter
+      (fun e ->
+        ix e;
+        add ";")
+      a.Program.idx;
+    add "]"
+  in
+  let rec cond (c : Sexpr.cond) =
+    match c with
+    | Sexpr.Cmp (op, a, b) ->
+        add
+          (match op with
+          | Sexpr.Clt -> "<"
+          | Sexpr.Cle -> "<="
+          | Sexpr.Cgt -> ">"
+          | Sexpr.Cge -> ">="
+          | Sexpr.Ceq -> "==");
+        add "(";
+        ix a;
+        add ",";
+        ix b;
+        add ")"
+    | Sexpr.And (a, b) ->
+        add "and(";
+        cond a;
+        add ",";
+        cond b;
+        add ")"
+    | Sexpr.Or (a, b) ->
+        add "or(";
+        cond a;
+        add ",";
+        cond b;
+        add ")"
+  in
+  let rec pexpr (e : Program.pexpr) =
+    match e with
+    | Program.Pload a ->
+        add "L";
+        access a
+    | Program.Pconst f ->
+        add "C";
+        add (Printf.sprintf "%h" f)
+    | Program.Pbin (op, a, b) ->
+        add "B";
+        add (Fmt.str "%a" Sexpr.pp_binop op);
+        add "(";
+        pexpr a;
+        add ",";
+        pexpr b;
+        add ")"
+    | Program.Pun (op, a) ->
+        add "U";
+        add (Fmt.str "%a" Sexpr.pp_unop op);
+        add "(";
+        pexpr a;
+        add ")"
+    | Program.Pselect (c, a, b) ->
+        add "S(";
+        cond c;
+        add ",";
+        pexpr a;
+        add ",";
+        pexpr b;
+        add ")"
+  in
+  let rec stmt (s : Program.stmt) =
+    match s with
+    | Program.For (l, b) ->
+        add "F";
+        add (string_of_int (vid l.Program.v));
+        add ":";
+        add (string_of_int l.Program.extent);
+        add
+          (match l.Program.kind with
+          | Program.Serial -> "s"
+          | Program.Parallel -> "p"
+          | Program.Vectorized -> "v"
+          | Program.Unrolled -> "u");
+        add "{";
+        stmt b;
+        add "}"
+    | Program.Block lst ->
+        add "[";
+        List.iter stmt lst;
+        add "]"
+    | Program.Store (a, e) ->
+        add "=";
+        access a;
+        pexpr e
+    | Program.Reduce (a, r, e) ->
+        add (match r with Program.Rsum -> "+=" | Program.Rmax -> "M=");
+        access a;
+        pexpr e
+  in
+  Array.iter
+    (fun (s : Program.slot) ->
+      add "slot(";
+      add s.Program.sname;
+      add ",";
+      add
+        (match s.Program.role with
+        | Program.Input -> "i"
+        | Program.Output -> "o"
+        | Program.Temp -> "t");
+      add ",";
+      Array.iter
+        (fun d ->
+          add (string_of_int d);
+          add ".")
+        (Layout.logical_shape s.Program.layout);
+      add "|";
+      List.iter
+        (fun pr -> add (Fmt.str "%a;" Layout.pp_prim pr))
+        (Layout.prims s.Program.layout);
+      add ")")
+    p.Program.slots;
+  stmt p.Program.body;
+  Stdlib.Buffer.contents buf
+
+let candidate_key (t : task) (choice : Propagate.choice)
+    (schedule : Schedule.t) : string option =
+  Option.map
+    (fun p -> Digest.to_hex (Digest.string (program_key p)))
+    (program_of t choice schedule)
+
+(* ------------------------------------------------------------------ *)
+(* Measurement                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* One profiler run: pack inputs through the candidate's layouts, allocate
+   outputs/temps, simulate.  Pure w.r.t. the task (reads feeds/machine
+   only), so it is safe to run concurrently from pool workers. *)
+let simulate (t : task) (prog : Program.t) : Profiler.result =
+  let bufs =
+    Array.map
+      (fun (s : Program.slot) ->
+        match s.Program.role with
+        | Program.Input ->
+            Layout.pack s.Program.layout (List.assoc s.Program.sname t.feeds)
+        | Program.Output | Program.Temp ->
+            Array.make (Layout.num_physical_elements s.Program.layout) 0.0)
+      prog.Program.slots
+  in
+  Profiler.run ~machine:t.machine ~max_points:t.max_points prog ~bufs
+
+let measure_programs ?pool ?(on_result = fun _ _ -> ()) (t : task)
+    (progs : Program.t option array) : Profiler.result option array =
+  let n = Array.length progs in
+  let keys =
+    Array.map
+      (Option.map (fun p -> Digest.to_hex (Digest.string (program_key p))))
+      progs
+  in
+  (* cache misses needing a fresh simulation, deduplicated within the
+     batch, in submission order *)
+  let seen = Hashtbl.create 16 in
+  let pending = ref [] in
+  Array.iteri
+    (fun i key ->
+      match (key, progs.(i)) with
+      | Some key, Some prog
+        when (not (Hashtbl.mem t.cache key)) && not (Hashtbl.mem seen key) ->
+          Hashtbl.add seen key ();
+          pending := (key, prog) :: !pending
+      | _ -> ())
+    keys;
+  let pending = List.rev !pending in
+  let fresh_results =
+    match pool with
+    | Some pool -> Pool.map pool (fun (_, prog) -> simulate t prog) pending
+    | None -> List.map (fun (_, prog) -> simulate t prog) pending
+  in
+  let fresh : (string, Profiler.result) Hashtbl.t = Hashtbl.create 16 in
+  List.iter2
+    (fun (key, _) r -> Hashtbl.replace fresh key r)
+    pending fresh_results;
+  (* replay in submission order: charge budget, account hits/misses, fill
+     the cache, and hand each result to the caller's callback while the
+     task state reflects exactly the serial trajectory *)
+  let results = Array.make n None in
+  Array.iteri
+    (fun i key ->
+      (match key with
+      | None -> ()
+      | Some key ->
+          t.spent <- t.spent + 1;
+          let r =
+            match Hashtbl.find_opt t.cache key with
+            | Some r ->
+                t.stats.hits <- t.stats.hits + 1;
+                r
+            | None ->
+                let r = Hashtbl.find fresh key in
+                t.stats.misses <- t.stats.misses + 1;
+                Hashtbl.replace t.cache key r;
+                r
+          in
+          results.(i) <- Some r);
+      on_result i results.(i))
+    keys;
+  results
+
+let measure_batch ?pool (t : task)
+    (cands : (Propagate.choice * Schedule.t) list) :
+    Profiler.result option array =
+  measure_programs ?pool t
+    (Array.of_list (List.map (fun (c, s) -> program_of t c s) cands))
+
 let measure (t : task) (choice : Propagate.choice) (schedule : Schedule.t) :
     Profiler.result option =
-  match program_of t choice schedule with
-  | None -> None
-  | Some prog ->
-      t.spent <- t.spent + 1;
-      let bufs =
-        Array.map
-          (fun (s : Program.slot) ->
-            match s.Program.role with
-            | Program.Input ->
-                Layout.pack s.Program.layout
-                  (List.assoc s.Program.sname t.feeds)
-            | Program.Output | Program.Temp ->
-                Array.make (Layout.num_physical_elements s.Program.layout) 0.0)
-          prog.Program.slots
-      in
-      Some
-        (Profiler.run ~machine:t.machine ~max_points:t.max_points prog ~bufs)
+  (measure_programs t [| program_of t choice schedule |]).(0)
 
 let latency_of = function
   | Some (r : Profiler.result) -> r.Profiler.latency_ms

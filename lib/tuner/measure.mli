@@ -1,5 +1,8 @@
 (** Measurement harness: one "on-device measurement" of the tuning loop is
-    one profiler run of the candidate program on the machine simulator. *)
+    one profiler run of the candidate program on the machine simulator.
+    Measurements are served through a canonical-program cache and can be
+    batched over a {!Alt_parallel.Pool} without changing the trajectory
+    (see the implementation header for the determinism contract). *)
 
 module Opdef = Alt_ir.Opdef
 module Schedule = Alt_ir.Schedule
@@ -7,6 +10,10 @@ module Program = Alt_ir.Program
 module Machine = Alt_machine.Machine
 module Profiler = Alt_machine.Profiler
 module Propagate = Alt_graph.Propagate
+module Pool = Alt_parallel.Pool
+
+type cache_stats = { mutable hits : int; mutable misses : int }
+(** Measurement-cache counters: [hits] were served without simulation. *)
 
 type task = {
   op : Opdef.t;
@@ -15,19 +22,52 @@ type task = {
   machine : Machine.t;
   max_points : int; (** per-measurement simulation budget *)
   feeds : (string * float array) list;
-  mutable spent : int; (** measurements consumed *)
+  mutable spent : int; (** measurements consumed (cache hits included) *)
+  cache : (string, Profiler.result) Hashtbl.t;
+      (** canonical program digest -> result; internal *)
+  stats : cache_stats;
 }
 
 val make_task :
   ?fused:Opdef.t list -> ?max_points:int -> ?seed:int ->
   machine:Machine.t -> Opdef.t -> task
 
+val cache_stats : task -> cache_stats
+
 val program_of : task -> Propagate.choice -> Schedule.t -> Program.t option
 (** Lower a candidate; [None] when the combination is illegal (costs no
     budget, like real tuners filtering invalid configs). *)
 
+val program_key : Program.t -> string
+(** Canonical serialization of a lowered program, invariant under variable
+    renaming: two programs serialize equally iff the simulator cannot tell
+    them apart.  Cache keys are digests of this string. *)
+
+val candidate_key : task -> Propagate.choice -> Schedule.t -> string option
+(** The measurement-cache key of a candidate ([None] if it does not
+    lower).  Keys collide exactly when two candidates lower to the same
+    canonical program. *)
+
+val measure_programs :
+  ?pool:Pool.t ->
+  ?on_result:(int -> Profiler.result option -> unit) ->
+  task -> Program.t option array -> Profiler.result option array
+(** Measure a batch of already-lowered candidates.  Cache misses are
+    simulated concurrently over [pool] (serially without one); budget
+    charging, cache updates and the [on_result] callback happen on the
+    calling domain in submission order, so for a fixed seed the observable
+    trajectory is identical for every pool size.  [None] entries (failed
+    lowering) cost no budget and report [None]. *)
+
+val measure_batch :
+  ?pool:Pool.t ->
+  task -> (Propagate.choice * Schedule.t) list ->
+  Profiler.result option array
+(** [measure_programs] over freshly lowered candidates, in order. *)
+
 val measure : task -> Propagate.choice -> Schedule.t -> Profiler.result option
-(** Lower, pack inputs, simulate.  Consumes one unit of budget. *)
+(** Lower, pack inputs, simulate (through the cache).  Consumes one unit
+    of budget. *)
 
 val latency_of : Profiler.result option -> float
 (** Latency in ms, or infinity for failed candidates. *)

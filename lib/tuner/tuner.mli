@@ -1,6 +1,12 @@
 (** The auto-tuning module (Section 5): ALT's two-stage joint tuner
     (cross-exploration joint stage + loop-only stage) and the baseline
-    systems of the evaluation. *)
+    systems of the evaluation.
+
+    Every tuner takes [?jobs] (default 1): the number of domains the
+    measurement engine may use for concurrent cache simulations.  The
+    tuning trajectory — [best_latency], [best_choice], [best_schedule],
+    [history], [spent] — is byte-identical for every [jobs] value at a
+    fixed seed; only wall-clock time changes (see DESIGN.md §7). *)
 
 module Schedule = Alt_ir.Schedule
 module Machine = Alt_machine.Machine
@@ -28,7 +34,7 @@ val actor_input_dim : int
 (** Input width of the layout PPO actor (state embedding + knob features). *)
 
 val tune_alt :
-  ?seed:int -> ?levels:int ->
+  ?seed:int -> ?jobs:int -> ?levels:int ->
   ?layout_explorer:[ `Random | `Ppo_fresh | `Ppo of Ppo.t ] ->
   ?seed_layouts:bool ->
   joint_budget:int -> loop_budget:int -> Measure.task -> result
@@ -38,7 +44,7 @@ val tune_alt :
     remaining budget over the best-ranked layouts. *)
 
 val tune_loop_only :
-  ?seed:int -> explorer:loop_explorer -> budget:int ->
+  ?seed:int -> ?jobs:int -> explorer:loop_explorer -> budget:int ->
   layouts:Propagate.choice list -> Measure.task -> result
 (** Loop tuning over fixed layout candidates, splitting the budget across
     them (the paper tries NOHW and NHWO for baselines and reports the
@@ -55,8 +61,10 @@ type system =
 
 val system_name : system -> string
 
-val tune_vendor : ?seed:int -> Measure.task -> result
+val tune_vendor : ?seed:int -> ?jobs:int -> Measure.task -> result
 (** Vendor-library stand-in: a small set of expert schedules on a fixed
     blocked layout; no search. *)
 
-val tune_op : ?seed:int -> system:system -> budget:int -> Measure.task -> result
+val tune_op :
+  ?seed:int -> ?jobs:int -> system:system -> budget:int -> Measure.task ->
+  result

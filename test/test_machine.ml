@@ -123,6 +123,47 @@ let test_gpu_parallel_wins () =
   Alcotest.(check bool) "gpu speedup > arm speedup" true
     (speedup Machine.nvidia_gpu >= speedup Machine.arm_cpu)
 
+let test_fused_logical_profile_independent () =
+  (* one fused conv+relu program, executed under all three machine
+     profiles: latencies differ, logical outputs must not *)
+  let op =
+    Ops.c2d ~name:"c" ~inp:"X" ~ker:"K" ~out:"Y" ~n:1 ~i:4 ~o:8 ~h:8 ~w:8
+      ~kh:3 ~kw:3 ()
+  in
+  let relu = Ops.relu ~name:"r" ~inp:"Y" ~out:"Z" ~shape:op.Opdef.out_shape () in
+  let out_layout = trivial op.Opdef.out_shape in
+  let prog =
+    Lower.lower ~op
+      ~layouts:(fun n -> trivial (Opdef.input_shape op n))
+      ~out_layout
+      ~fused:[ { Lower.fop = relu; fout_layout = out_layout } ]
+      ~schedule:(Schedule.default ~rank:4 ~nred:3)
+      ()
+  in
+  let inputs =
+    List.map (fun (n, s) -> (n, Buffer.random ~seed:11 s)) op.Opdef.inputs
+  in
+  let runs =
+    List.map
+      (fun m ->
+        let outs, r = Runtime.run_logical ~machine:m prog ~inputs in
+        (m, List.assoc "Z" outs, r))
+      Machine.all
+  in
+  let _, z0, _ = List.hd runs in
+  Alcotest.(check bool) "relu clamped" true (Array.for_all (fun v -> v >= 0.0) z0);
+  Alcotest.(check bool) "relu nontrivial" true (Array.exists (fun v -> v > 0.0) z0);
+  List.iter
+    (fun ((m : Machine.t), z, (r : Profiler.result)) ->
+      Alcotest.(check bool)
+        (m.Machine.name ^ " finite latency")
+        true
+        (Float.is_finite r.Profiler.latency_ms && r.Profiler.latency_ms > 0.0);
+      Alcotest.(check bool)
+        (m.Machine.name ^ " logical output profile-independent")
+        true (z = z0))
+    runs
+
 let () =
   Alcotest.run "alt_machine"
     [
@@ -139,5 +180,7 @@ let () =
             test_sampling_scale_bounds;
           Alcotest.test_case "gpu parallel advantage" `Quick
             test_gpu_parallel_wins;
+          Alcotest.test_case "fused conv+relu profile-independent" `Quick
+            test_fused_logical_profile_independent;
         ] );
     ]
