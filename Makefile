@@ -1,5 +1,5 @@
 # Tier-1 gate: everything builds, every test suite passes.
-.PHONY: all check test bench clean
+.PHONY: all check test bench fault-smoke clean
 
 all:
 	dune build @all
@@ -7,7 +7,15 @@ all:
 test:
 	dune runtest
 
-check: all test
+# Tier-2 gate: a tuning run under 30% injected measurement faults must
+# complete with a finite best latency and a best schedule that lowers
+# (the CLI exits non-zero otherwise).
+fault-smoke:
+	dune exec bin/alt_cli.exe -- tune-op --op c2d --channels 4 \
+	  --out-channels 8 --spatial 6 --budget 24 --seed 1 \
+	  --fault-rate 0.3 --fault-seed 1 --retries 2
+
+check: all test fault-smoke
 
 # quick-scale regeneration of the paper's tables and figures
 bench:

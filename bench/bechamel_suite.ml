@@ -44,7 +44,7 @@ let test_measurement =
   let sched = Schedule.vectorize (Schedule.default ~rank:4 ~nred:3) in
   Test.make ~name:"fig9:simulated measurement (C2D, 10k points)"
     (Staged.stage (fun () ->
-         ignore (Measure.measure task choice sched : Profiler.result option)))
+         ignore (Measure.measure task choice sched : Measure.outcome)))
 
 (* Fig.10 family: layout propagation planning on a real model graph. *)
 let test_propagation =

@@ -26,7 +26,7 @@ let fused_chain () =
   ]
 
 let tune_with choice =
-  let task = Measure.make_task ~fused:(fused_chain ()) ~machine ~max_points op in
+  let task = Measure.make_task ~fused:(fused_chain ()) ~faults:(Bench_util.faults ()) ~retries:!Bench_util.retries ~machine ~max_points op in
   let r =
     Tuner.tune_loop_only ~explorer:Tuner.Guided ~budget:loop_budget
       ~layouts:[ choice ] task
@@ -34,13 +34,13 @@ let tune_with choice =
   (r.Tuner.best_choice, r.Tuner.best_schedule)
 
 let profile name (choice, schedule) =
-  let task = Measure.make_task ~fused:(fused_chain ()) ~machine ~max_points op in
+  let task = Measure.make_task ~fused:(fused_chain ()) ~faults:(Bench_util.faults ()) ~retries:!Bench_util.retries ~machine ~max_points op in
   match Measure.measure task choice schedule with
-  | None -> Fmt.pr "%-28s (does not lower)@." name
-  | Some r ->
+  | Measure.Ok r ->
       Fmt.pr "%-28s %10.0f %10.0f %9.0f %9.0f %9.4f@." name r.Profiler.insts
         r.Profiler.loads r.Profiler.l1_misses r.Profiler.stores
         r.Profiler.latency_ms
+  | o -> Fmt.pr "%-28s (%a)@." name Measure.pp_outcome o
 
 let run () =
   section "Table 3: profiled counters per layout (pad+C2D+bias+ReLU, scaled R18 layer)";
@@ -50,7 +50,7 @@ let run () =
   profile "NOHW" (tune_with (Templates.trivial_choice op));
   profile "N O/ot H W ot (ot=8)" (tune_with (Templates.blocked_choice op ~block:8));
   (* joint-tuned ALT layout *)
-  let task = Measure.make_task ~fused:(fused_chain ()) ~machine ~max_points op in
+  let task = Measure.make_task ~fused:(fused_chain ()) ~faults:(Bench_util.faults ()) ~retries:!Bench_util.retries ~machine ~max_points op in
   let r =
     Tuner.tune_alt ~joint_budget:(loop_budget * 2) ~loop_budget task
   in

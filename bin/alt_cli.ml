@@ -49,6 +49,61 @@ let jobs_arg =
 
 let resolve_jobs jobs = if jobs <= 0 then Pool.default_jobs () else jobs
 
+let fault_rate_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "fault-rate" ] ~docv:"P"
+        ~doc:
+          "Probability in [0,1] that a measurement is hit by an injected \
+           fault (crash, timeout, transient flake or persistent failure).  \
+           Deterministic per candidate: the fault pattern is a pure \
+           function of --fault-seed, independent of --jobs, retries and \
+           resume.")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "fault-seed" ] ~docv:"N"
+        ~doc:"Seed of the deterministic fault injector.")
+
+let retries_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Extra simulation attempts after a failed measurement before the \
+           candidate is quarantined.")
+
+let watchdog_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "watchdog" ] ~docv:"POINTS"
+        ~doc:
+          "Watchdog cap on a candidate's iteration points: candidates \
+           above it report a timeout instead of simulating (off by \
+           default).")
+
+let checkpoint_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Journal the tuning state to $(docv) after every measurement \
+           round (atomic write).")
+
+let resume_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Resume from the checkpoint at $(docv): replays the interrupted \
+           trajectory from the warmed measurement cache, byte-identically, \
+           then continues.  A missing file starts fresh, so the same path \
+           can be passed to --checkpoint and --resume across restarts.")
+
+let faults_of ~rate ~seed =
+  if rate > 0.0 then Fault.create ~seed ~rate () else Fault.none
+
 let op_kind_arg =
   Arg.(
     value & opt string "c2d"
@@ -127,34 +182,59 @@ let system_arg =
 
 let tune_op_cmd =
   let run machine budget seed jobs kind batch channels out_channels spatial
-      kernel stride system =
+      kernel stride system fault_rate fault_seed retries watchdog checkpoint
+      resume =
     setup_logs ();
     let jobs = resolve_jobs jobs in
     let op =
       make_op kind ~batch ~channels ~out_channels ~spatial ~kernel ~stride
     in
-    let task = Measure.make_task ~machine op in
+    let faults = faults_of ~rate:fault_rate ~seed:fault_seed in
+    let task =
+      Measure.make_task ~machine ~faults ~retries ?watchdog_points:watchdog op
+    in
     let t0 = Unix.gettimeofday () in
-    let r = Tuner.tune_op ~seed ~jobs ~system ~budget task in
+    let r =
+      Tuner.tune_op ~seed ~jobs ?checkpoint ?resume ~system ~budget task
+    in
     let elapsed = Unix.gettimeofday () -. t0 in
     let stats = Measure.cache_stats task in
     Fmt.pr "system      : %s@." (Tuner.system_name system);
     Fmt.pr "machine     : %a@." Machine.pp machine;
     Fmt.pr "jobs        : %d (%.2fs wall; cache %d hits / %d misses)@." jobs
       elapsed stats.Measure.hits stats.Measure.misses;
+    (if Fault.active faults || watchdog <> None then
+       let fs = Measure.fault_stats task in
+       Fmt.pr
+         "faults      : %d faulted, %d retries (%.0f ms backoff), %d \
+          recovered, %d quarantined@."
+         fs.Measure.faulted fs.Measure.retried fs.Measure.backoff_ms
+         fs.Measure.recovered fs.Measure.quarantined);
     Fmt.pr "best latency: %.5f ms (after %d measurements)@." r.Tuner.best_latency
       r.Tuner.spent;
     Fmt.pr "out layout  : %a@." Layout.pp r.Tuner.best_choice.Propagate.out_layout;
     List.iter
       (fun (n, l) -> Fmt.pr "%-4s layout : %a@." n Layout.pp l)
       r.Tuner.best_choice.Propagate.in_layouts;
-    Fmt.pr "schedule    : %a@." Schedule.pp r.Tuner.best_schedule
+    Fmt.pr "schedule    : %a@." Schedule.pp r.Tuner.best_schedule;
+    (* a tuning run must end with a usable result even under injected
+       faults: a finite best latency and a best candidate that lowers *)
+    if not (Float.is_finite r.Tuner.best_latency) then begin
+      Fmt.epr "error: no finite-latency candidate was measured@.";
+      exit 1
+    end;
+    match Measure.program_of task r.Tuner.best_choice r.Tuner.best_schedule with
+    | Some _ -> ()
+    | None ->
+        Fmt.epr "error: best schedule does not lower@.";
+        exit 1
   in
   Cmd.v (Cmd.info "tune-op" ~doc:"Tune a single operator.")
     Term.(
       const run $ machine_arg $ budget_arg $ seed_arg $ jobs_arg $ op_kind_arg
       $ batch_arg $ channels_arg $ out_channels_arg $ spatial_arg $ kernel_arg
-      $ stride_arg $ system_arg)
+      $ stride_arg $ system_arg $ fault_rate_arg $ fault_seed_arg
+      $ retries_arg $ watchdog_arg $ checkpoint_arg $ resume_arg)
 
 (* ------------------------------------------------------------------ *)
 (* tune-model                                                         *)
@@ -180,9 +260,11 @@ let gsystem_arg =
         ~doc:"System: vendor, autotvm, ansor, alt, alt-ol, alt-wp.")
 
 let tune_model_cmd =
-  let run machine budget seed jobs model batch system =
+  let run machine budget seed jobs model batch system fault_rate fault_seed
+      retries =
     setup_logs ();
     let jobs = resolve_jobs jobs in
+    let faults = faults_of ~rate:fault_rate ~seed:fault_seed in
     let spec =
       match model with
       | "r18" -> Zoo.resnet18 ~batch ()
@@ -196,8 +278,8 @@ let tune_model_cmd =
       (Graph_tuner.gsystem_name system)
       Machine.pp machine budget;
     let tg =
-      Graph_tuner.tune_graph ~seed ~jobs ~system ~machine ~budget
-        spec.Zoo.graph
+      Graph_tuner.tune_graph ~seed ~jobs ~faults ~retries ~system ~machine
+        ~budget spec.Zoo.graph
     in
     let r = Graph_tuner.run tg ~machine in
     Fmt.pr "end-to-end latency: %.4f ms@." r.Compile.latency_ms;
@@ -210,7 +292,8 @@ let tune_model_cmd =
   Cmd.v (Cmd.info "tune-model" ~doc:"Tune and run an end-to-end model.")
     Term.(
       const run $ machine_arg $ budget_arg $ seed_arg $ jobs_arg $ model_arg
-      $ batch_arg $ gsystem_arg)
+      $ batch_arg $ gsystem_arg $ fault_rate_arg $ fault_seed_arg
+      $ retries_arg)
 
 (* ------------------------------------------------------------------ *)
 (* show-op                                                            *)
@@ -253,8 +336,8 @@ let show_op_cmd =
     | Some prog ->
         Fmt.pr "%a@." Program.pp prog;
         (match Measure.measure task choice sched with
-        | Some r -> Fmt.pr "profile: %a@." Profiler.pp_result r
-        | None -> ())
+        | Measure.Ok r -> Fmt.pr "profile: %a@." Profiler.pp_result r
+        | o -> Fmt.pr "profile: %a@." Measure.pp_outcome o)
   in
   Cmd.v (Cmd.info "show-op" ~doc:"Print the lowered program for an operator.")
     Term.(

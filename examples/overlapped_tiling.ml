@@ -24,11 +24,11 @@ let machine = Machine.intel_cpu
 let profile name (choice : Propagate.choice) schedule =
   let task = Measure.make_task ~machine op in
   match Measure.measure task choice schedule with
-  | None -> Fmt.pr "%-34s does not lower@." name
-  | Some r ->
+  | Measure.Ok r ->
       Fmt.pr "%-34s lat=%8.4f ms  insts=%10.0f  l1-lds=%9.0f  l1-mis=%8.0f@."
         name r.Profiler.latency_ms r.Profiler.insts r.Profiler.loads
         r.Profiler.l1_misses
+  | o -> Fmt.pr "%-34s %a@." name Measure.pp_outcome o
 
 let default_sched rank =
   Schedule.default ~rank ~nred:3

@@ -33,8 +33,9 @@ module Cache = Alt_machine.Cache
 module Profiler = Alt_machine.Profiler
 module Runtime = Alt_machine.Runtime
 
-(* --- measurement parallelism --- *)
+(* --- measurement parallelism and fault tolerance --- *)
 module Pool = Alt_parallel.Pool
+module Fault = Alt_faults.Fault
 
 (* --- learning components --- *)
 module Features = Alt_costmodel.Features
@@ -46,6 +47,7 @@ module Ppo = Alt_rl.Ppo
 module Templates = Alt_tuner.Templates
 module Loopspace = Alt_tuner.Loopspace
 module Measure = Alt_tuner.Measure
+module Checkpoint = Alt_tuner.Checkpoint
 module Tuner = Alt_tuner.Tuner
 module Graph_tuner = Alt_tuner.Graph_tuner
 
@@ -56,21 +58,27 @@ module Zoo = Alt_models.Zoo
     two-stage tuner.  [budget] counts simulated on-device measurements;
     30% goes to the joint stage and 70% to the loop-only stage, as in the
     paper's single-operator setup.  [jobs] parallelizes the measurements
-    without changing the result (see DESIGN.md §7). *)
+    without changing the result (see DESIGN.md §7).  [faults]/[retries]
+    configure fault injection and recovery, [checkpoint]/[resume] the
+    round journal (see DESIGN.md §8). *)
 let tune_operator ?(machine = Machine.intel_cpu) ?(budget = 200)
-    ?(max_points = 40_000) ?seed ?jobs ?levels (op : Opdef.t) : Tuner.result =
-  let task = Measure.make_task ~machine ~max_points op in
-  Tuner.tune_alt ?seed ?jobs ?levels
+    ?(max_points = 40_000) ?seed ?jobs ?levels ?faults ?retries
+    ?watchdog_points ?checkpoint ?resume (op : Opdef.t) : Tuner.result =
+  let task =
+    Measure.make_task ~machine ~max_points ?faults ?retries ?watchdog_points
+      op
+  in
+  Tuner.tune_alt ?seed ?jobs ?levels ?checkpoint ?resume
     ~joint_budget:(budget * 3 / 10)
     ~loop_budget:(budget * 7 / 10)
     task
 
 (** Tune and compile an end-to-end model. *)
 let compile_model ?(system = Graph_tuner.Galt) ?(machine = Machine.intel_cpu)
-    ?(budget = 400) ?max_points ?seed ?jobs ?levels (g : Graph.t) :
-    Graph_tuner.tuned_graph =
-  Graph_tuner.tune_graph ?seed ?jobs ?levels ?max_points ~system ~machine
-    ~budget g
+    ?(budget = 400) ?max_points ?seed ?jobs ?levels ?faults ?retries
+    (g : Graph.t) : Graph_tuner.tuned_graph =
+  Graph_tuner.tune_graph ?seed ?jobs ?levels ?max_points ?faults ?retries
+    ~system ~machine ~budget g
 
 (** Execute a tuned model on its machine model and report the simulated
     end-to-end latency. *)

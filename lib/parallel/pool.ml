@@ -4,19 +4,27 @@
    Domains are spawned per batch rather than kept resident: a batch of
    cache simulations runs for milliseconds to seconds, so the ~10us spawn
    cost is noise, and per-batch domains make the drain guarantee trivial —
-   workers can only exit by exhausting the task cursor, and [map] joins
-   every domain before returning or re-raising.  Task results (and any
-   exceptions) land in a slot array indexed by submission position, which
-   is what makes the output order independent of execution order. *)
+   workers can only exit by exhausting the task cursor, and every entry
+   point joins all domains before returning or re-raising.  Task results
+   (and any exceptions, with their backtraces) land in a slot array
+   indexed by submission position, which is what makes the output order
+   independent of execution order and lets a raising task surface as a
+   per-task outcome instead of poisoning the batch. *)
 
 type t = { jobs : int }
 
 exception Nested_pool
+exception Task_failed of int * exn
+
+(* placeholder for a slot whose task never ran; unreachable as long as the
+   cursor drains the batch, but kept as a real exception so even a broken
+   invariant surfaces as an outcome rather than an assert *)
+exception Never_ran
 
 (* Domain-local flag marking "this domain is currently executing a pool
-   task"; checked on entry to [map] to reject nested parallelism.  Worker
-   domains are fresh per batch so their flag starts false; the calling
-   domain participates in the drain and resets its flag afterwards. *)
+   task"; checked on entry to reject nested parallelism.  Worker domains
+   are fresh per batch so their flag starts false; the calling domain
+   participates in the drain and resets its flag after every task. *)
 let in_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
 let create ?(jobs = 1) () =
@@ -29,50 +37,86 @@ let default_jobs () = Domain.recommended_domain_count ()
 
 let check_not_nested () = if Domain.DLS.get in_task then raise Nested_pool
 
-type 'b slot = Empty | Done of 'b | Failed of exn * Printexc.raw_backtrace
+type 'b slot = Done of 'b | Failed of exn * Printexc.raw_backtrace
 
-let map_array t (f : 'a -> 'b) (xs : 'a array) : 'b array =
+(* Run one task with the nesting flag set, capturing any exception
+   together with its backtrace. *)
+let run_task f x =
+  Domain.DLS.set in_task true;
+  let r = try Done (f x) with e -> Failed (e, Printexc.get_raw_backtrace ()) in
+  Domain.DLS.set in_task false;
+  r
+
+(* Drain the whole batch into submission-indexed slots.  Every task runs
+   (even after another one failed), and all domains are joined before
+   returning. *)
+let run_slots t f (xs : 'a array) : 'b slot array =
   check_not_nested ();
   let n = Array.length xs in
+  let slots = Array.make n (Failed (Never_ran, Printexc.get_callstack 0)) in
   if t.jobs = 1 || n <= 1 then
-    (* degenerate serial path: run on the calling domain, first exception
-       propagates immediately — exactly Array.map *)
-    Array.map
-      (fun x ->
-        Domain.DLS.set in_task true;
-        Fun.protect ~finally:(fun () -> Domain.DLS.set in_task false)
-          (fun () -> f x))
-      xs
+    for i = 0 to n - 1 do
+      slots.(i) <- run_task f xs.(i)
+    done
   else begin
-    let slots = Array.make n Empty in
     let cursor = Atomic.make 0 in
     let worker () =
-      Domain.DLS.set in_task true;
       let rec drain () =
         let i = Atomic.fetch_and_add cursor 1 in
         if i < n then begin
-          (slots.(i) <-
-            (try Done (f xs.(i))
-             with e -> Failed (e, Printexc.get_raw_backtrace ())));
+          slots.(i) <- run_task f xs.(i);
           drain ()
         end
       in
-      drain ();
-      Domain.DLS.set in_task false
+      drain ()
     in
     let helpers =
       Array.init (min (t.jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker)
     in
     worker ();
-    Array.iter Domain.join helpers;
-    (* deterministic error choice: the lowest submission index wins *)
-    Array.iter
-      (function
-        | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
-        | Empty | Done _ -> ())
+    Array.iter Domain.join helpers
+  end;
+  slots
+
+let map_array_result t f (xs : 'a array) : ('b, exn) result array =
+  Array.map
+    (function Done r -> Ok r | Failed (e, _) -> Error e)
+    (run_slots t f xs)
+
+let map_result t f xs = Array.to_list (map_array_result t f (Array.of_list xs))
+
+let map_array t (f : 'a -> 'b) (xs : 'a array) : 'b array =
+  let n = Array.length xs in
+  if t.jobs = 1 || n <= 1 then begin
+    (* degenerate serial path: tasks run on the calling domain in
+       submission order and the first failure propagates immediately —
+       later tasks never run, exactly Array.map with the exception wrapped
+       as Task_failed *)
+    check_not_nested ();
+    let out = ref [] in
+    for i = 0 to n - 1 do
+      match run_task f xs.(i) with
+      | Done r -> out := r :: !out
+      | Failed (e, bt) -> Printexc.raise_with_backtrace (Task_failed (i, e)) bt
+    done;
+    Array.of_list (List.rev !out)
+  end
+  else begin
+    let slots = run_slots t f xs in
+    (* deterministic error choice: scan in submission order so the
+       exception of the lowest-indexed failing task wins, re-raised with
+       its submission index and the task's original backtrace *)
+    Array.iteri
+      (fun i -> function
+        | Failed (e, bt) -> Printexc.raise_with_backtrace (Task_failed (i, e)) bt
+        | Done _ -> ())
       slots;
     Array.map
-      (function Done r -> r | Empty | Failed _ -> assert false)
+      (function
+        | Done r -> r
+        (* unreachable after the scan above, but a faithful re-raise
+           beats an assertion if the invariant ever breaks *)
+        | Failed (e, bt) -> Printexc.raise_with_backtrace e bt)
       slots
   end
 

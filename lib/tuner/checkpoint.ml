@@ -1,0 +1,56 @@
+(* On-disk tuning checkpoints (see the .mli for the resume model).
+
+   A checkpoint file is the magic string, a marshalled format version, and
+   the marshalled record.  Writes go through a temporary file and a rename
+   so a crash mid-write (the exact scenario checkpoints exist for) can
+   never leave a truncated checkpoint behind — the previous complete one
+   survives. *)
+
+module Profiler = Alt_machine.Profiler
+
+let magic = "ALTCKPT\001"
+let version = 1
+
+type t = {
+  fingerprint : string;
+  rounds : int;
+  spent : int;
+  best_latency : float;
+  rng_digest : string;
+  cache : (string * Profiler.result) list;
+  quarantine : (string * string) list;
+}
+
+let save ~path (t : t) =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc magic;
+     Marshal.to_channel oc (version : int) [];
+     Marshal.to_channel oc t [];
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let load ~path : t =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let m =
+        try really_input_string ic (String.length magic)
+        with End_of_file ->
+          failwith (path ^ ": not an ALT checkpoint (file too short)")
+      in
+      if m <> magic then failwith (path ^ ": not an ALT checkpoint");
+      let v : int = Marshal.from_channel ic in
+      if v <> version then
+        failwith
+          (Printf.sprintf "%s: checkpoint format version %d, expected %d" path
+             v version);
+      (Marshal.from_channel ic : t))
+
+let load_opt ~path = if Sys.file_exists path then Some (load ~path) else None

@@ -1,0 +1,37 @@
+(** On-disk tuning checkpoints.
+
+    A checkpoint is a {e replay} checkpoint, not a process image: it
+    stores the measurement cache and the quarantine table of the
+    interrupted run (plus bookkeeping for validation).  Resuming re-runs
+    the tuner from scratch over the warmed cache — and because cache hits
+    charge budget exactly like fresh simulations, the resumed run walks
+    the interrupted trajectory byte-identically while skipping the
+    already-simulated work, then continues past the interruption point.
+    No RNG, PPO or GBDT state needs to be serialized (see DESIGN.md §8). *)
+
+module Profiler = Alt_machine.Profiler
+
+type t = {
+  fingerprint : string;
+      (** {!Measure.fingerprint} of the run that wrote this checkpoint; a
+          checkpoint only resumes a run with the same fingerprint *)
+  rounds : int;  (** measurement rounds completed when saved *)
+  spent : int;  (** measurement budget spent when saved *)
+  best_latency : float;  (** best latency at save time (informational) *)
+  rng_digest : string;
+      (** digest of the tuner RNG state at save time; a resumed run
+          reaching the same round must reproduce it exactly *)
+  cache : (string * Profiler.result) list;
+  quarantine : (string * string) list;
+}
+
+val save : path:string -> t -> unit
+(** Atomic write (temp file + rename): a crash mid-save never corrupts an
+    existing checkpoint. *)
+
+val load : path:string -> t
+(** Raises [Failure] on a missing/foreign file or a format-version
+    mismatch. *)
+
+val load_opt : path:string -> t option
+(** [None] when [path] does not exist; otherwise {!load}. *)

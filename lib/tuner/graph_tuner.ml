@@ -79,8 +79,8 @@ type tuned_graph = {
 }
 
 let tune_graph ?(seed = 0) ?(jobs = 1) ?(levels = 1) ?(max_points = 30_000)
-    ~(system : gsystem) ~(machine : Machine.t) ~(budget : int) (g : Graph.t) :
-    tuned_graph =
+    ?faults ?retries ~(system : gsystem) ~(machine : Machine.t)
+    ~(budget : int) (g : Graph.t) : tuned_graph =
   let complex = Graph.complex_nodes g in
   (* deduplicate by signature *)
   let uniq : (string, Graph.node * Graph.node list) Hashtbl.t =
@@ -112,7 +112,8 @@ let tune_graph ?(seed = 0) ?(jobs = 1) ?(levels = 1) ?(max_points = 30_000)
         | Propagate.Full -> List.map (fun (c : Graph.node) -> c.Graph.op) chain
       in
       let task =
-        Measure.make_task ~fused:fused_ops ~max_points ~machine node.Graph.op
+        Measure.make_task ~fused:fused_ops ~max_points ?faults ?retries
+          ~machine node.Graph.op
       in
       let r =
         match system with

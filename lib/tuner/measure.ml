@@ -25,7 +25,19 @@
      the profiler runs of cache misses fan out over a {!Alt_parallel.Pool}.
      Since the profiler is deterministic and touches no shared state, the
      results — and therefore the whole tuning trajectory — are
-     byte-identical for any pool size. *)
+     byte-identical for any pool size.
+
+   - A fault-tolerant recovery policy.  Measurements can fail: an
+     {!Alt_faults.Fault} injector makes simulations crash, time out, or
+     flake deterministically per candidate (and a watchdog can kill
+     candidates whose iteration count exceeds a hard point cap).  Every
+     measurement reports a structured [outcome]; failed attempts are
+     retried a bounded number of times with deterministic backoff, and
+     candidates that keep failing land in a quarantine table so later
+     proposals are answered immediately (with an infinite latency the
+     explorers steer away from) instead of aborting the run.  With the
+     injector off and the watchdog unset, the pipeline is byte-identical
+     to the fault-free one. *)
 
 module Shape = Alt_tensor.Shape
 module Layout = Alt_tensor.Layout
@@ -41,8 +53,25 @@ module Machine = Alt_machine.Machine
 module Profiler = Alt_machine.Profiler
 module Propagate = Alt_graph.Propagate
 module Pool = Alt_parallel.Pool
+module Fault = Alt_faults.Fault
 
 type cache_stats = { mutable hits : int; mutable misses : int }
+
+type fault_stats = {
+  mutable faulted : int;
+  mutable retried : int;
+  mutable recovered : int;
+  mutable quarantined : int;
+  mutable backoff_ms : float;
+}
+
+(* The structured result of one measurement (see the .mli). *)
+type outcome =
+  | Ok of Profiler.result
+  | Lower_error
+  | Sim_error of string
+  | Timeout
+  | Quarantined
 
 type task = {
   op : Opdef.t;
@@ -54,6 +83,11 @@ type task = {
   cache : (string, Profiler.result) Hashtbl.t;
       (* canonical program digest -> simulator result *)
   stats : cache_stats;
+  faults : Fault.t;
+  retries : int; (* extra attempts after a failed simulation *)
+  watchdog_points : int option; (* hard cap on a candidate's points *)
+  quarantine : (string, string) Hashtbl.t; (* digest -> failure reason *)
+  fstats : fault_stats;
 }
 
 (* All external input tensors of the task (op inputs + fused extras). *)
@@ -71,7 +105,9 @@ let task_inputs (op : Opdef.t) (fused : Opdef.t list) =
     fused;
   !acc
 
-let make_task ?(fused = []) ?(max_points = 40_000) ?(seed = 11) ~machine op =
+let make_task ?(fused = []) ?(max_points = 40_000) ?(seed = 11)
+    ?(faults = Fault.none) ?(retries = 2) ?watchdog_points ~machine op =
+  if retries < 0 then invalid_arg "Measure.make_task: retries must be >= 0";
   let feeds =
     List.mapi
       (fun i (n, s) -> (n, Buffer.random ~seed:(seed + i) s))
@@ -86,9 +122,17 @@ let make_task ?(fused = []) ?(max_points = 40_000) ?(seed = 11) ~machine op =
     spent = 0;
     cache = Hashtbl.create 64;
     stats = { hits = 0; misses = 0 };
+    faults;
+    retries;
+    watchdog_points;
+    quarantine = Hashtbl.create 8;
+    fstats =
+      { faulted = 0; retried = 0; recovered = 0; quarantined = 0;
+        backoff_ms = 0.0 };
   }
 
 let cache_stats t = t.stats
+let fault_stats t = t.fstats
 
 (* Build the program for a candidate; None if the combination is illegal. *)
 let program_of (t : task) (choice : Propagate.choice) (schedule : Schedule.t) :
@@ -312,8 +356,44 @@ let simulate (t : task) (prog : Program.t) : Profiler.result =
   in
   Profiler.run ~machine:t.machine ~max_points:t.max_points prog ~bufs
 
+(* Iteration points of a program — what the watchdog compares against its
+   hard cap. *)
+let rec stmt_points (s : Program.stmt) : float =
+  match s with
+  | Program.For (l, b) -> float_of_int l.Program.extent *. stmt_points b
+  | Program.Block lst -> List.fold_left (fun a s -> a +. stmt_points s) 0.0 lst
+  | Program.Store _ | Program.Reduce _ -> 1.0
+
+let program_points (p : Program.t) : float = stmt_points p.Program.body
+
+(* One simulation attempt of one candidate, as run by a pool worker.
+   Injected crashes genuinely raise (exercising the pool's failure
+   draining); everything else reports a value.  Pure in (task, key,
+   attempt). *)
+type sim_out = S_ok of Profiler.result | S_timeout | S_fail of string
+
+let run_attempt (t : task) ~attempt ((key, prog) : string * Program.t) :
+    sim_out =
+  match Fault.decide t.faults ~key with
+  | Some Fault.Crash -> raise (Fault.Injected "injected simulation crash")
+  | Some Fault.Timeout ->
+      (* the watchdog kills the run when it exceeds the point budget *)
+      S_timeout
+  | Some Fault.Persistent -> S_fail "persistent simulation failure"
+  | Some (Fault.Flaky k) when attempt < k ->
+      S_fail "transient simulation failure"
+  | Some (Fault.Flaky _) | None -> (
+      match t.watchdog_points with
+      | Some cap when program_points prog > float_of_int cap -> S_timeout
+      | _ -> S_ok (simulate t prog))
+
+let quarantine_reason = function
+  | Timeout -> "timeout"
+  | Sim_error msg -> msg
+  | Ok _ | Lower_error | Quarantined -> "failure"
+
 let measure_programs ?pool ?(on_result = fun _ _ -> ()) (t : task)
-    (progs : Program.t option array) : Profiler.result option array =
+    (progs : Program.t option array) : outcome array =
   let n = Array.length progs in
   let keys =
     Array.map
@@ -321,64 +401,158 @@ let measure_programs ?pool ?(on_result = fun _ _ -> ()) (t : task)
       progs
   in
   (* cache misses needing a fresh simulation, deduplicated within the
-     batch, in submission order *)
+     batch, in submission order; quarantined candidates are answered from
+     the quarantine table and never simulated again *)
   let seen = Hashtbl.create 16 in
   let pending = ref [] in
   Array.iteri
     (fun i key ->
       match (key, progs.(i)) with
       | Some key, Some prog
-        when (not (Hashtbl.mem t.cache key)) && not (Hashtbl.mem seen key) ->
+        when (not (Hashtbl.mem t.cache key))
+             && (not (Hashtbl.mem t.quarantine key))
+             && not (Hashtbl.mem seen key) ->
           Hashtbl.add seen key ();
           pending := (key, prog) :: !pending
       | _ -> ())
     keys;
   let pending = List.rev !pending in
-  let fresh_results =
-    match pool with
-    | Some pool -> Pool.map pool (fun (_, prog) -> simulate t prog) pending
-    | None -> List.map (fun (_, prog) -> simulate t prog) pending
-  in
+  (* Simulate misses with bounded retry.  Each attempt round fans out over
+     the pool through [map_result], so a crashing attempt is drained as a
+     per-task outcome instead of poisoning the batch; classification and
+     the retry decision happen on the calling domain in submission order,
+     keeping the trajectory independent of the pool size. *)
   let fresh : (string, Profiler.result) Hashtbl.t = Hashtbl.create 16 in
-  List.iter2
-    (fun (key, _) r -> Hashtbl.replace fresh key r)
-    pending fresh_results;
+  let terminal : (string, outcome) Hashtbl.t = Hashtbl.create 16 in
+  let rec attempt_round attempt items =
+    match items with
+    | [] -> ()
+    | _ ->
+        let outs =
+          match pool with
+          | Some pool ->
+              Pool.map_result pool (run_attempt t ~attempt) items
+          | None ->
+              List.map
+                (fun item ->
+                  match run_attempt t ~attempt item with
+                  | s -> Stdlib.Ok s
+                  | exception e -> Stdlib.Error e)
+                items
+        in
+        let retry = ref [] in
+        List.iter2
+          (fun ((key, _) as item) out ->
+            let fail o =
+              if attempt = 0 then t.fstats.faulted <- t.fstats.faulted + 1;
+              if attempt < t.retries then begin
+                t.fstats.retried <- t.fstats.retried + 1;
+                t.fstats.backoff_ms <-
+                  t.fstats.backoff_ms +. Fault.backoff_ms ~attempt;
+                retry := item :: !retry
+              end
+              else Hashtbl.replace terminal key o
+            in
+            match out with
+            | Stdlib.Ok (S_ok r) ->
+                if attempt > 0 then
+                  t.fstats.recovered <- t.fstats.recovered + 1;
+                Hashtbl.replace fresh key r
+            | Stdlib.Ok S_timeout -> fail Timeout
+            | Stdlib.Ok (S_fail msg) -> fail (Sim_error msg)
+            | Stdlib.Error (Fault.Injected msg) -> fail (Sim_error msg)
+            | Stdlib.Error e -> fail (Sim_error (Printexc.to_string e)))
+          items outs;
+        attempt_round (attempt + 1) (List.rev !retry)
+  in
+  attempt_round 0 pending;
   (* replay in submission order: charge budget, account hits/misses, fill
-     the cache, and hand each result to the caller's callback while the
-     task state reflects exactly the serial trajectory *)
-  let results = Array.make n None in
+     the cache and the quarantine table, and hand each outcome to the
+     caller's callback while the task state reflects exactly the serial
+     trajectory *)
+  let results = Array.make n Lower_error in
   Array.iteri
     (fun i key ->
       (match key with
-      | None -> ()
+      | None -> results.(i) <- Lower_error
       | Some key ->
           t.spent <- t.spent + 1;
-          let r =
-            match Hashtbl.find_opt t.cache key with
-            | Some r ->
-                t.stats.hits <- t.stats.hits + 1;
-                r
-            | None ->
-                let r = Hashtbl.find fresh key in
-                t.stats.misses <- t.stats.misses + 1;
-                Hashtbl.replace t.cache key r;
-                r
+          let o =
+            if Hashtbl.mem t.quarantine key then Quarantined
+            else
+              match Hashtbl.find_opt t.cache key with
+              | Some r ->
+                  t.stats.hits <- t.stats.hits + 1;
+                  Ok r
+              | None -> (
+                  match Hashtbl.find_opt fresh key with
+                  | Some r ->
+                      t.stats.misses <- t.stats.misses + 1;
+                      Hashtbl.replace t.cache key r;
+                      Ok r
+                  | None ->
+                      let o = Hashtbl.find terminal key in
+                      t.stats.misses <- t.stats.misses + 1;
+                      Hashtbl.replace t.quarantine key (quarantine_reason o);
+                      t.fstats.quarantined <- t.fstats.quarantined + 1;
+                      o)
           in
-          results.(i) <- Some r);
+          results.(i) <- o);
       on_result i results.(i))
     keys;
   results
 
 let measure_batch ?pool (t : task)
-    (cands : (Propagate.choice * Schedule.t) list) :
-    Profiler.result option array =
+    (cands : (Propagate.choice * Schedule.t) list) : outcome array =
   measure_programs ?pool t
     (Array.of_list (List.map (fun (c, s) -> program_of t c s) cands))
 
 let measure (t : task) (choice : Propagate.choice) (schedule : Schedule.t) :
-    Profiler.result option =
+    outcome =
   (measure_programs t [| program_of t choice schedule |]).(0)
 
+let result_of = function Ok r -> Some r | _ -> None
+
 let latency_of = function
-  | Some (r : Profiler.result) -> r.Profiler.latency_ms
-  | None -> Float.infinity
+  | Ok (r : Profiler.result) -> r.Profiler.latency_ms
+  | Lower_error | Sim_error _ | Timeout | Quarantined -> Float.infinity
+
+(* Ansor-style penalty cost: what failed-but-lowerable candidates feed the
+   learned cost model, so the search is steered away from failing regions
+   instead of aborting.  Orders of magnitude above any real simulated
+   latency, but finite, so log-space model fitting stays NaN-free. *)
+let penalty_latency_ms = 1e4
+
+let pp_outcome ppf = function
+  | Ok r -> Fmt.pf ppf "ok(%.5fms)" r.Profiler.latency_ms
+  | Lower_error -> Fmt.string ppf "lower-error"
+  | Sim_error msg -> Fmt.pf ppf "sim-error(%s)" msg
+  | Timeout -> Fmt.string ppf "timeout"
+  | Quarantined -> Fmt.string ppf "quarantined"
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint support                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot (t : task) =
+  ( Hashtbl.fold (fun k r acc -> (k, r) :: acc) t.cache [],
+    Hashtbl.fold (fun k m acc -> (k, m) :: acc) t.quarantine [] )
+
+let restore (t : task) ~cache ~quarantine =
+  List.iter (fun (k, r) -> Hashtbl.replace t.cache k r) cache;
+  List.iter (fun (k, m) -> Hashtbl.replace t.quarantine k m) quarantine
+
+(* Everything that shapes a tuning trajectory besides the tuner's own
+   parameters: operator, fused chain, machine, budgets of one simulation,
+   input data, and the fault configuration.  Checkpoints written under one
+   fingerprint can only be resumed under the same one. *)
+let fingerprint ~seed ~tag (t : task) : string =
+  let feeds = Digest.to_hex (Digest.string (Marshal.to_string t.feeds [])) in
+  Digest.to_hex
+    (Digest.string
+       (Fmt.str "%s|%s|%a|%d|%s|%d|%d|%.9f|%d|%d|%a|%s" tag t.op.Opdef.name
+          Shape.pp t.op.Opdef.out_shape (List.length t.fused)
+          t.machine.Machine.name t.max_points seed t.faults.Fault.rate
+          t.faults.Fault.seed t.retries
+          Fmt.(option int)
+          t.watchdog_points feeds))

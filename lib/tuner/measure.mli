@@ -1,8 +1,9 @@
 (** Measurement harness: one "on-device measurement" of the tuning loop is
     one profiler run of the candidate program on the machine simulator.
-    Measurements are served through a canonical-program cache and can be
-    batched over a {!Alt_parallel.Pool} without changing the trajectory
-    (see the implementation header for the determinism contract). *)
+    Measurements are served through a canonical-program cache, can be
+    batched over a {!Alt_parallel.Pool} without changing the trajectory,
+    and survive injected faults through bounded retry and quarantine (see
+    the implementation header for the determinism contract). *)
 
 module Opdef = Alt_ir.Opdef
 module Schedule = Alt_ir.Schedule
@@ -11,9 +12,37 @@ module Machine = Alt_machine.Machine
 module Profiler = Alt_machine.Profiler
 module Propagate = Alt_graph.Propagate
 module Pool = Alt_parallel.Pool
+module Fault = Alt_faults.Fault
 
 type cache_stats = { mutable hits : int; mutable misses : int }
 (** Measurement-cache counters: [hits] were served without simulation. *)
+
+type fault_stats = {
+  mutable faulted : int;
+      (** candidates whose first simulation attempt failed *)
+  mutable retried : int;  (** retry attempts performed *)
+  mutable recovered : int;  (** candidates that succeeded on a retry *)
+  mutable quarantined : int;  (** candidates given up on *)
+  mutable backoff_ms : float;  (** total simulated retry backoff *)
+}
+
+(** The structured result of one measurement — the error taxonomy real
+    tuners treat as first-class results. *)
+type outcome =
+  | Ok of Profiler.result  (** the simulation succeeded *)
+  | Lower_error
+      (** the candidate failed to lower (illegal layout/schedule
+          combination); costs no budget, like real tuners filtering
+          invalid configs before measuring *)
+  | Sim_error of string
+      (** the simulation crashed or reported an error, and retries were
+          exhausted *)
+  | Timeout
+      (** the watchdog killed the simulation for exceeding the
+          per-measurement point budget *)
+  | Quarantined
+      (** the candidate was already quarantined by an earlier terminal
+          failure; answered without simulating *)
 
 type task = {
   op : Opdef.t;
@@ -26,13 +55,24 @@ type task = {
   cache : (string, Profiler.result) Hashtbl.t;
       (** canonical program digest -> result; internal *)
   stats : cache_stats;
+  faults : Fault.t; (** fault injector; {!Fault.none} = no faults *)
+  retries : int; (** extra attempts after a failed simulation *)
+  watchdog_points : int option;
+      (** hard cap on a candidate's iteration points; candidates above it
+          report {!Timeout} without simulating ([None] = no cap) *)
+  quarantine : (string, string) Hashtbl.t; (** digest -> reason; internal *)
+  fstats : fault_stats;
 }
 
 val make_task :
-  ?fused:Opdef.t list -> ?max_points:int -> ?seed:int ->
-  machine:Machine.t -> Opdef.t -> task
+  ?fused:Opdef.t list -> ?max_points:int -> ?seed:int -> ?faults:Fault.t ->
+  ?retries:int -> ?watchdog_points:int -> machine:Machine.t -> Opdef.t -> task
+(** [retries] defaults to 2.  With the default [faults] ({!Fault.none})
+    and no [watchdog_points], the measurement pipeline is byte-identical
+    to a fault-free build. *)
 
 val cache_stats : task -> cache_stats
+val fault_stats : task -> fault_stats
 
 val program_of : task -> Propagate.choice -> Schedule.t -> Program.t option
 (** Lower a candidate; [None] when the combination is illegal (costs no
@@ -48,26 +88,65 @@ val candidate_key : task -> Propagate.choice -> Schedule.t -> string option
     lower).  Keys collide exactly when two candidates lower to the same
     canonical program. *)
 
+val program_points : Program.t -> float
+(** Iteration points of a program — what the watchdog compares against
+    its hard cap. *)
+
 val measure_programs :
   ?pool:Pool.t ->
-  ?on_result:(int -> Profiler.result option -> unit) ->
-  task -> Program.t option array -> Profiler.result option array
+  ?on_result:(int -> outcome -> unit) ->
+  task -> Program.t option array -> outcome array
 (** Measure a batch of already-lowered candidates.  Cache misses are
-    simulated concurrently over [pool] (serially without one); budget
-    charging, cache updates and the [on_result] callback happen on the
-    calling domain in submission order, so for a fixed seed the observable
-    trajectory is identical for every pool size.  [None] entries (failed
-    lowering) cost no budget and report [None]. *)
+    simulated concurrently over [pool] (serially without one) with bounded
+    retry on injected faults; budget charging, cache/quarantine updates
+    and the [on_result] callback happen on the calling domain in
+    submission order, so for a fixed seed the observable trajectory is
+    identical for every pool size.  [None] entries (failed lowering) cost
+    no budget and report {!Lower_error}; every other entry costs one unit
+    whatever its outcome. *)
 
 val measure_batch :
   ?pool:Pool.t ->
-  task -> (Propagate.choice * Schedule.t) list ->
-  Profiler.result option array
+  task -> (Propagate.choice * Schedule.t) list -> outcome array
 (** [measure_programs] over freshly lowered candidates, in order. *)
 
-val measure : task -> Propagate.choice -> Schedule.t -> Profiler.result option
-(** Lower, pack inputs, simulate (through the cache).  Consumes one unit
-    of budget. *)
+val measure : task -> Propagate.choice -> Schedule.t -> outcome
+(** Lower, pack inputs, simulate (through the cache and the recovery
+    policy).  Consumes one unit of budget unless lowering fails. *)
 
-val latency_of : Profiler.result option -> float
-(** Latency in ms, or infinity for failed candidates. *)
+val result_of : outcome -> Profiler.result option
+(** The profiler result, if the measurement succeeded. *)
+
+val latency_of : outcome -> float
+(** Latency in ms, or infinity for every failed outcome — explorers rank
+    by this, so failures are steered away from, never selected. *)
+
+val penalty_latency_ms : float
+(** Ansor-style penalty cost fed to learned cost models for candidates
+    that lowered but failed to measure: large enough to steer the search
+    away, finite so log-space fitting stays NaN-free. *)
+
+val pp_outcome : outcome Fmt.t
+
+(** {1 Checkpoint support} *)
+
+val snapshot :
+  task -> (string * Profiler.result) list * (string * string) list
+(** Dump of the measurement cache and the quarantine table, for
+    checkpointing. *)
+
+val restore :
+  task ->
+  cache:(string * Profiler.result) list ->
+  quarantine:(string * string) list -> unit
+(** Warm a fresh task from a checkpoint dump.  Because cache hits charge
+    budget exactly like fresh simulations, a tuning run over a restored
+    task replays the interrupted run's trajectory byte-identically while
+    skipping the already-simulated work. *)
+
+val fingerprint : seed:int -> tag:string -> task -> string
+(** Digest of everything that shapes a tuning trajectory besides the
+    tuner's own parameters (operator, fused chain, machine, simulation
+    budget, input data, fault configuration, plus the caller's [tag] and
+    [seed]); checkpoints can only be resumed under a matching
+    fingerprint. *)

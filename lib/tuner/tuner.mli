@@ -6,7 +6,19 @@
     measurement engine may use for concurrent cache simulations.  The
     tuning trajectory — [best_latency], [best_choice], [best_schedule],
     [history], [spent] — is byte-identical for every [jobs] value at a
-    fixed seed; only wall-clock time changes (see DESIGN.md §7). *)
+    fixed seed; only wall-clock time changes (see DESIGN.md §7).
+
+    Every tuner also takes the fault-tolerance/checkpoint triple (see
+    DESIGN.md §8):
+    - [?checkpoint:path] — journal the tuning state to [path] after every
+      measurement round (atomic write);
+    - [?resume:path] — before tuning, warm the measurement cache and
+      quarantine table from the checkpoint at [path] (a missing file means
+      a fresh start; a checkpoint from a differently-configured run is
+      rejected with [Invalid_argument]).  Resuming replays the interrupted
+      trajectory byte-identically, then continues past the interruption;
+    - [?on_round:(round -> unit)] — hook fired after each round's
+      checkpoint is written; tests raise from it to simulate kills. *)
 
 module Schedule = Alt_ir.Schedule
 module Machine = Alt_machine.Machine
@@ -36,7 +48,8 @@ val actor_input_dim : int
 val tune_alt :
   ?seed:int -> ?jobs:int -> ?levels:int ->
   ?layout_explorer:[ `Random | `Ppo_fresh | `Ppo of Ppo.t ] ->
-  ?seed_layouts:bool ->
+  ?seed_layouts:bool -> ?checkpoint:string -> ?resume:string ->
+  ?on_round:(int -> unit) ->
   joint_budget:int -> loop_budget:int -> Measure.task -> result
 (** The ALT tuner.  The joint stage seeds with heuristic layouts, then
     cross-explores template layouts with the layout agent, assessing each
@@ -44,7 +57,8 @@ val tune_alt :
     remaining budget over the best-ranked layouts. *)
 
 val tune_loop_only :
-  ?seed:int -> ?jobs:int -> explorer:loop_explorer -> budget:int ->
+  ?seed:int -> ?jobs:int -> ?checkpoint:string -> ?resume:string ->
+  ?on_round:(int -> unit) -> explorer:loop_explorer -> budget:int ->
   layouts:Propagate.choice list -> Measure.task -> result
 (** Loop tuning over fixed layout candidates, splitting the budget across
     them (the paper tries NOHW and NHWO for baselines and reports the
@@ -61,10 +75,13 @@ type system =
 
 val system_name : system -> string
 
-val tune_vendor : ?seed:int -> ?jobs:int -> Measure.task -> result
+val tune_vendor :
+  ?seed:int -> ?jobs:int -> ?checkpoint:string -> ?resume:string ->
+  ?on_round:(int -> unit) -> Measure.task -> result
 (** Vendor-library stand-in: a small set of expert schedules on a fixed
     blocked layout; no search. *)
 
 val tune_op :
-  ?seed:int -> ?jobs:int -> system:system -> budget:int -> Measure.task ->
+  ?seed:int -> ?jobs:int -> ?checkpoint:string -> ?resume:string ->
+  ?on_round:(int -> unit) -> system:system -> budget:int -> Measure.task ->
   result

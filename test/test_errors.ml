@@ -1,0 +1,131 @@
+(* Error-path tests: the [invalid_arg] guards that protect the operator
+   constructors, the graph builder and the cache model from malformed
+   inputs.  Each test pins the exact message, so a refactor that silently
+   drops or reroutes a guard fails loudly here. *)
+
+module Opdef = Alt_ir.Opdef
+module Ops = Alt_graph.Ops
+module Graph = Alt_graph.Graph
+module Cache = Alt_machine.Cache
+
+let check_invalid_arg name msg f =
+  Alcotest.check_raises name (Invalid_argument msg) (fun () ->
+      ignore (Sys.opaque_identity (f ())))
+
+(* ------------------------------------------------------------------ *)
+(* Operator constructors                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* [h]/[w] are OUTPUT spatial sizes; [in_h]/[in_w] override the inferred
+   input sizes, so forcing a 2x2 input under a 3x3 kernel must be
+   rejected. *)
+let test_c2d_input_too_small () =
+  check_invalid_arg "c2d 2x2 input, 3x3 kernel" "Ops.c2d: input too small"
+    (fun () ->
+      Ops.c2d ~name:"c" ~inp:"X" ~ker:"K" ~out:"Y" ~n:1 ~i:4 ~o:8 ~h:6 ~w:6
+        ~kh:3 ~kw:3 ~in_h:2 ~in_w:2 ())
+
+let test_dep_input_too_small () =
+  check_invalid_arg "dep 2x2 input, 3x3 kernel" "Ops.dep: input too small"
+    (fun () ->
+      Ops.dep ~name:"d" ~inp:"X" ~ker:"K" ~out:"Y" ~n:1 ~c:4 ~h:6 ~w:6 ~kh:3
+        ~kw:3 ~in_h:2 ~in_w:2 ())
+
+let test_grp_channels_not_divisible () =
+  check_invalid_arg "grp 6 channels, 4 groups"
+    "Ops.grp: channels not divisible by groups" (fun () ->
+      Ops.grp ~name:"g" ~inp:"X" ~ker:"K" ~out:"Y" ~n:1 ~i:6 ~o:8 ~h:6 ~w:6
+        ~kh:3 ~kw:3 ~groups:4 ())
+
+let test_split_heads_not_divisible () =
+  check_invalid_arg "split_heads 10 dims, 4 heads" "Ops.split_heads"
+    (fun () ->
+      Ops.split_heads ~name:"s" ~inp:"X" ~out:"Y" ~s:8 ~h:10 ~heads:4 ())
+
+(* sanity: the guarded constructors still accept well-formed arguments *)
+let test_valid_ops_accepted () =
+  ignore
+    (Ops.c2d ~name:"c" ~inp:"X" ~ker:"K" ~out:"Y" ~n:1 ~i:4 ~o:8 ~h:6 ~w:6
+       ~kh:3 ~kw:3 ()
+      : Opdef.t);
+  ignore
+    (Ops.grp ~name:"g" ~inp:"A" ~ker:"W" ~out:"B" ~n:1 ~i:8 ~o:8 ~h:6 ~w:6
+       ~kh:3 ~kw:3 ~groups:4 ()
+      : Opdef.t);
+  ignore
+    (Ops.split_heads ~name:"s" ~inp:"P" ~out:"Q" ~s:8 ~h:12 ~heads:4 ()
+      : Opdef.t)
+
+(* ------------------------------------------------------------------ *)
+(* Graph builder                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_graph_duplicate_tensor () =
+  check_invalid_arg "duplicate input name" "Graph: duplicate tensor name x"
+    (fun () ->
+      let b = Graph.builder () in
+      ignore (Graph.input b "x" [| 4 |] : string);
+      Graph.input b "x" [| 4 |])
+
+let test_graph_unknown_output () =
+  check_invalid_arg "unknown output tensor" "Graph: unknown output tensor nope"
+    (fun () ->
+      let b = Graph.builder () in
+      ignore (Graph.input b "x" [| 4 |] : string);
+      Graph.finish b ~outputs:[ "nope" ])
+
+(* ------------------------------------------------------------------ *)
+(* Cache geometry                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_bad_geometry () =
+  (* 3 lines cannot be divided into 2-way sets *)
+  check_invalid_arg "lines not divisible by assoc" "Cache.create: geometry"
+    (fun () ->
+      Cache.create { Cache.size_bytes = 3 * 64; assoc = 2; line_bytes = 64 })
+
+let test_cache_non_pow2_line () =
+  check_invalid_arg "line size not a power of two"
+    "Cache.log2_exact: not a power of two" (fun () ->
+      Cache.create { Cache.size_bytes = 4 * 48; assoc = 2; line_bytes = 48 })
+
+let test_cache_non_pow2_sets () =
+  (* 6 lines / 2-way = 3 sets: passes the divisibility check, fails the
+     power-of-two set-index check *)
+  check_invalid_arg "set count not a power of two"
+    "Cache.log2_exact: not a power of two" (fun () ->
+      Cache.create { Cache.size_bytes = 6 * 64; assoc = 2; line_bytes = 64 })
+
+let () =
+  Alcotest.run "alt_errors"
+    [
+      ( "ops",
+        [
+          Alcotest.test_case "c2d input too small" `Quick
+            test_c2d_input_too_small;
+          Alcotest.test_case "dep input too small" `Quick
+            test_dep_input_too_small;
+          Alcotest.test_case "grp channels/groups" `Quick
+            test_grp_channels_not_divisible;
+          Alcotest.test_case "split_heads divisibility" `Quick
+            test_split_heads_not_divisible;
+          Alcotest.test_case "well-formed ops accepted" `Quick
+            test_valid_ops_accepted;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "duplicate tensor rejected" `Quick
+            test_graph_duplicate_tensor;
+          Alcotest.test_case "unknown output rejected" `Quick
+            test_graph_unknown_output;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "bad geometry rejected" `Quick
+            test_cache_bad_geometry;
+          Alcotest.test_case "non-pow2 line rejected" `Quick
+            test_cache_non_pow2_line;
+          Alcotest.test_case "non-pow2 sets rejected" `Quick
+            test_cache_non_pow2_sets;
+        ] );
+    ]

@@ -57,11 +57,35 @@ let test_exception_drains () =
          i)
        xs
    with
-  | _ -> Alcotest.fail "expected a Failure"
-  | exception Failure msg ->
+  | _ -> Alcotest.fail "expected Task_failed"
+  | exception Pool.Task_failed (i, Failure msg) ->
+      Alcotest.(check int) "submission index of the failing task" 5 i;
       Alcotest.(check string) "lowest-index failure re-raised" "boom-5" msg);
   (* every task still ran: the batch drained, no domain was left hung *)
   Alcotest.(check int) "batch drained" 12 (Atomic.get started)
+
+(* The discipline the measurement pipeline uses: exceptions surface as
+   per-task [Error] outcomes in submission order, identical for every
+   pool size, and never wedge or poison the batch. *)
+let test_map_result_surfaces_errors () =
+  let run jobs =
+    let p = Pool.create ~jobs () in
+    Pool.map_result p
+      (fun i -> if i mod 3 = 1 then failwith (Fmt.str "boom-%d" i) else i * i)
+      (List.init 10 Fun.id)
+  in
+  let expect =
+    List.init 10 (fun i ->
+        if i mod 3 = 1 then Error (Failure (Fmt.str "boom-%d" i))
+        else Ok (i * i))
+  in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Fmt.str "per-task outcomes, jobs=%d" jobs)
+        true
+        (run jobs = expect))
+    [ 1; 4 ]
 
 let test_size_one_degenerates () =
   let p = Pool.create () in
@@ -88,8 +112,8 @@ let test_size_one_degenerates () =
          i)
        [ 0; 1; 2; 3 ]
    with
-  | _ -> Alcotest.fail "expected a Failure"
-  | exception Failure _ -> ());
+  | _ -> Alcotest.fail "expected Task_failed"
+  | exception Pool.Task_failed (1, Failure _) -> ());
   Alcotest.(check int) "stopped at the failing task" 2 !count
 
 let test_nested_rejected () =
@@ -97,7 +121,7 @@ let test_nested_rejected () =
   let inner = Pool.create ~jobs:2 () in
   match Pool.map outer (fun _ -> Pool.map inner Fun.id [ 1 ]) [ 1; 2 ] with
   | _ -> Alcotest.fail "expected Nested_pool"
-  | exception Pool.Nested_pool -> ()
+  | exception Pool.Task_failed (0, Pool.Nested_pool) -> ()
 
 let test_bad_jobs_rejected () =
   match Pool.create ~jobs:0 () with
@@ -144,15 +168,19 @@ let prop_cache_hit_equals_fresh =
       let r_fresh = Measure.measure t2 choice sched in
       let st = Measure.cache_stats t1 in
       match r_first with
-      | None ->
+      | Measure.Lower_error ->
           (* failed lowering: no key, no budget, no counters *)
-          r_hit = None && r_fresh = None && st.Measure.hits = 0
-          && st.Measure.misses = 0
+          r_hit = Measure.Lower_error
+          && r_fresh = Measure.Lower_error
+          && st.Measure.hits = 0 && st.Measure.misses = 0
           && t1.Measure.spent = 0
-      | Some _ ->
+      | Measure.Ok _ ->
           st.Measure.misses = 1 && st.Measure.hits = 1 && r_hit = r_first
           && r_fresh = r_first
-          && t1.Measure.spent = 2)
+          && t1.Measure.spent = 2
+      | Measure.Sim_error _ | Measure.Timeout | Measure.Quarantined ->
+          (* no fault injector on these tasks: impossible *)
+          false)
 
 (* Keys are rename-invariant (every [candidate_key] call re-lowers with
    fresh variable ids) and collide exactly when two candidates lower to
@@ -236,6 +264,8 @@ let () =
           Alcotest.test_case "submission order" `Quick test_submission_order;
           Alcotest.test_case "exception drains batch" `Quick
             test_exception_drains;
+          Alcotest.test_case "map_result surfaces per-task errors" `Quick
+            test_map_result_surfaces_errors;
           Alcotest.test_case "size-1 degenerates to List.map" `Quick
             test_size_one_degenerates;
           Alcotest.test_case "nested use rejected" `Quick test_nested_rejected;

@@ -89,10 +89,10 @@ let test_fixed_choices () =
           ~nred:3
       in
       match Measure.measure task choice sched with
-      | Some r ->
+      | Measure.Ok r ->
           Alcotest.(check bool) (nm ^ " finite") true
             (Float.is_finite r.Alt_machine.Profiler.latency_ms)
-      | None -> Alcotest.failf "%s did not lower" nm)
+      | o -> Alcotest.failf "%s did not measure: %a" nm Measure.pp_outcome o)
     [
       ("trivial", Templates.trivial_choice op);
       ("channels_last", Templates.channels_last_choice op);
