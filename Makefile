@@ -1,5 +1,5 @@
 # Tier-1 gate: everything builds, every test suite passes.
-.PHONY: all check test bench fault-smoke clean
+.PHONY: all check test bench bench-profiler bench-profiler-smoke fault-smoke clean
 
 all:
 	dune build @all
@@ -15,7 +15,17 @@ fault-smoke:
 	  --out-channels 8 --spatial 6 --budget 24 --seed 1 \
 	  --fault-rate 0.3 --fault-seed 1 --retries 2
 
-check: all test fault-smoke
+# fast-engine micro-benchmark: times Profiler.run under both engines,
+# re-checks the fast==scalar differential oracle, writes
+# BENCH_profiler.json (ALT_BENCH_SCALE=smoke|quick|full; ALT_FAST_SIM=0
+# to pin the scalar engine)
+bench-profiler:
+	dune exec bench/bench_profiler.exe
+
+bench-profiler-smoke:
+	ALT_BENCH_SCALE=smoke dune exec bench/bench_profiler.exe
+
+check: all test bench-profiler-smoke fault-smoke
 
 # quick-scale regeneration of the paper's tables and figures
 bench:

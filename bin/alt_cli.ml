@@ -104,6 +104,16 @@ let resume_arg =
 let faults_of ~rate ~seed =
   if rate > 0.0 then Fault.create ~seed ~rate () else Fault.none
 
+let fast_arg =
+  Arg.(
+    value
+    & opt bool (Profiler.fast_sim_enabled ())
+    & info [ "fast-sim" ] ~docv:"BOOL"
+        ~doc:
+          "Use the profiler's line-granular fast simulation engine \
+           (counters are identical to the scalar interpreter either way). \
+           Defaults to true unless ALT_FAST_SIM=0 is set.")
+
 let op_kind_arg =
   Arg.(
     value & opt string "c2d"
@@ -183,7 +193,7 @@ let system_arg =
 let tune_op_cmd =
   let run machine budget seed jobs kind batch channels out_channels spatial
       kernel stride system fault_rate fault_seed retries watchdog checkpoint
-      resume =
+      resume fast =
     setup_logs ();
     let jobs = resolve_jobs jobs in
     let op =
@@ -191,7 +201,8 @@ let tune_op_cmd =
     in
     let faults = faults_of ~rate:fault_rate ~seed:fault_seed in
     let task =
-      Measure.make_task ~machine ~faults ~retries ?watchdog_points:watchdog op
+      Measure.make_task ~machine ~faults ~retries ?watchdog_points:watchdog
+        ~fast op
     in
     let t0 = Unix.gettimeofday () in
     let r =
@@ -234,7 +245,7 @@ let tune_op_cmd =
       const run $ machine_arg $ budget_arg $ seed_arg $ jobs_arg $ op_kind_arg
       $ batch_arg $ channels_arg $ out_channels_arg $ spatial_arg $ kernel_arg
       $ stride_arg $ system_arg $ fault_rate_arg $ fault_seed_arg
-      $ retries_arg $ watchdog_arg $ checkpoint_arg $ resume_arg)
+      $ retries_arg $ watchdog_arg $ checkpoint_arg $ resume_arg $ fast_arg)
 
 (* ------------------------------------------------------------------ *)
 (* tune-model                                                         *)
@@ -261,7 +272,7 @@ let gsystem_arg =
 
 let tune_model_cmd =
   let run machine budget seed jobs model batch system fault_rate fault_seed
-      retries =
+      retries fast =
     setup_logs ();
     let jobs = resolve_jobs jobs in
     let faults = faults_of ~rate:fault_rate ~seed:fault_seed in
@@ -278,8 +289,8 @@ let tune_model_cmd =
       (Graph_tuner.gsystem_name system)
       Machine.pp machine budget;
     let tg =
-      Graph_tuner.tune_graph ~seed ~jobs ~faults ~retries ~system ~machine
-        ~budget spec.Zoo.graph
+      Graph_tuner.tune_graph ~seed ~jobs ~faults ~retries ~fast ~system
+        ~machine ~budget spec.Zoo.graph
     in
     let r = Graph_tuner.run tg ~machine in
     Fmt.pr "end-to-end latency: %.4f ms@." r.Compile.latency_ms;
@@ -293,7 +304,7 @@ let tune_model_cmd =
     Term.(
       const run $ machine_arg $ budget_arg $ seed_arg $ jobs_arg $ model_arg
       $ batch_arg $ gsystem_arg $ fault_rate_arg $ fault_seed_arg
-      $ retries_arg)
+      $ retries_arg $ fast_arg)
 
 (* ------------------------------------------------------------------ *)
 (* show-op                                                            *)
@@ -307,7 +318,7 @@ let layout_preset_arg =
 
 let show_op_cmd =
   let run machine kind batch channels out_channels spatial kernel stride preset
-      =
+      fast =
     setup_logs ();
     let op =
       make_op kind ~batch ~channels ~out_channels ~spatial ~kernel ~stride
@@ -325,7 +336,7 @@ let show_op_cmd =
           | None -> Templates.trivial_choice op)
       | p -> Fmt.failwith "unknown preset %S" p
     in
-    let task = Measure.make_task ~machine op in
+    let task = Measure.make_task ~machine ~fast op in
     let rank = Shape.rank (Layout.physical_shape choice.Propagate.out_layout) in
     let sched =
       Schedule.vectorize
@@ -343,7 +354,7 @@ let show_op_cmd =
     Term.(
       const run $ machine_arg $ op_kind_arg $ batch_arg $ channels_arg
       $ out_channels_arg $ spatial_arg $ kernel_arg $ stride_arg
-      $ layout_preset_arg)
+      $ layout_preset_arg $ fast_arg)
 
 let () =
   let info =

@@ -4,9 +4,27 @@
    optimizations pay off through spatial locality, prefetch friendliness and
    reuse distance, which is exactly what a cache model measures.  Addresses
    are byte addresses; the cache stores line tags only (data lives in the
-   program buffers). *)
+   program buffers).
+
+   Besides the element-wise [access] entry point, the model exposes a
+   handle-based fast interface for the profiler's line-granular batching
+   engine (DESIGN.md §9): [access_way] returns the way slot that served an
+   access, [touch_run] replays [n] guaranteed-hit accesses to that slot in
+   O(1), and [generation] counts line installs so callers can tell when a
+   memoized residency check must be revalidated.  Every entry point keeps
+   the clock/stamp state exactly equivalent to the corresponding sequence
+   of plain [access] calls, which is what makes the fast path
+   counter-exact. *)
 
 type cfg = { size_bytes : int; assoc : int; line_bytes : int }
+
+type stats = {
+  mutable accesses : int; (* demand accesses *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable prefetch_installs : int; (* prefetches that brought a new line *)
+  mutable prefetch_hits : int; (* demand hits served by a prefetched line *)
+}
 
 type t = {
   cfg : cfg;
@@ -14,7 +32,10 @@ type t = {
   line_shift : int;
   tags : int array; (* sets * assoc; -1 = invalid *)
   stamp : int array; (* LRU stamps, same indexing *)
+  pref : bool array; (* line was prefetched and not yet demand-touched *)
   mutable clock : int;
+  mutable gen : int; (* bumped on every line install (demand or prefetch) *)
+  st : stats;
 }
 
 let log2_exact n =
@@ -35,22 +56,52 @@ let create cfg =
     line_shift = log2_exact cfg.line_bytes;
     tags = Array.make (sets * cfg.assoc) (-1);
     stamp = Array.make (sets * cfg.assoc) 0;
+    pref = Array.make (sets * cfg.assoc) false;
     clock = 0;
+    gen = 0;
+    st =
+      {
+        accesses = 0;
+        hits = 0;
+        misses = 0;
+        prefetch_installs = 0;
+        prefetch_hits = 0;
+      };
   }
+
+let dump t = (Array.copy t.tags, Array.copy t.stamp)
 
 let reset t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);
   Array.fill t.stamp 0 (Array.length t.stamp) 0;
-  t.clock <- 0
+  Array.fill t.pref 0 (Array.length t.pref) false;
+  t.clock <- 0;
+  t.gen <- 0;
+  t.st.accesses <- 0;
+  t.st.hits <- 0;
+  t.st.misses <- 0;
+  t.st.prefetch_installs <- 0;
+  t.st.prefetch_hits <- 0
 
 let line_of t addr = addr lsr t.line_shift
+let stats t = t.st
+let generation t = t.gen
+let way_line t slot = t.tags.(slot)
 
-(* Returns true on hit.  On miss the line is installed (LRU eviction). *)
-let access t addr =
+let victim_of t base =
+  let victim = ref 0 in
+  for i = 1 to t.cfg.assoc - 1 do
+    if t.stamp.(base + i) < t.stamp.(base + !victim) then victim := i
+  done;
+  !victim
+
+(* Demand access returning the way slot that now holds the line. *)
+let access_way t addr =
   let line = line_of t addr in
   let set = line land (t.sets - 1) in
   let base = set * t.cfg.assoc in
   t.clock <- t.clock + 1;
+  t.st.accesses <- t.st.accesses + 1;
   let rec probe i =
     if i = t.cfg.assoc then None
     else if t.tags.(base + i) = line then Some i
@@ -58,17 +109,49 @@ let access t addr =
   in
   match probe 0 with
   | Some i ->
-      t.stamp.(base + i) <- t.clock;
-      true
+      let slot = base + i in
+      t.stamp.(slot) <- t.clock;
+      t.st.hits <- t.st.hits + 1;
+      if t.pref.(slot) then begin
+        t.pref.(slot) <- false;
+        t.st.prefetch_hits <- t.st.prefetch_hits + 1
+      end;
+      (true, slot)
   | None ->
       (* install in LRU way *)
-      let victim = ref 0 in
-      for i = 1 to t.cfg.assoc - 1 do
-        if t.stamp.(base + i) < t.stamp.(base + !victim) then victim := i
-      done;
-      t.tags.(base + !victim) <- line;
-      t.stamp.(base + !victim) <- t.clock;
-      false
+      let slot = base + victim_of t base in
+      t.tags.(slot) <- line;
+      t.stamp.(slot) <- t.clock;
+      t.pref.(slot) <- false;
+      t.gen <- t.gen + 1;
+      t.st.misses <- t.st.misses + 1;
+      (false, slot)
+
+(* Returns true on hit.  On miss the line is installed (LRU eviction). *)
+let access t addr = fst (access_way t addr)
+
+(* [n] further guaranteed-hit accesses to the line held by [slot]: one
+   clock advance per access, stamp refreshed to the last one — the exact
+   state [n] successive hitting [access] calls would leave.  Only valid
+   immediately after a demand access to that slot with no install in
+   between (the caller checks [generation]/[way_line]). *)
+let touch_run t slot n =
+  if n > 0 then begin
+    t.clock <- t.clock + n;
+    t.stamp.(slot) <- t.clock;
+    t.st.accesses <- t.st.accesses + n;
+    t.st.hits <- t.st.hits + n
+  end
+
+(* [n] consecutive demand accesses to the single line containing [addr]
+   with one set/tag computation: equivalent to [n] successive [access t
+   addr] calls (after the first, the line is resident and every further
+   access hits).  Returns the way slot and whether the first access hit. *)
+let access_run t addr n =
+  let ((hit, slot) as r) = access_way t addr in
+  touch_run t slot (n - 1);
+  ignore (hit : bool);
+  r
 
 (* Install a line without counting it as a demand access (prefetch).
    Returns true if the line was newly installed. *)
@@ -85,12 +168,12 @@ let prefetch t addr =
   | Some _ -> false
   | None ->
       t.clock <- t.clock + 1;
-      let victim = ref 0 in
-      for i = 1 to t.cfg.assoc - 1 do
-        if t.stamp.(base + i) < t.stamp.(base + !victim) then victim := i
-      done;
-      t.tags.(base + !victim) <- line;
-      t.stamp.(base + !victim) <- t.clock;
+      let slot = base + victim_of t base in
+      t.tags.(slot) <- line;
+      t.stamp.(slot) <- t.clock;
+      t.pref.(slot) <- true;
+      t.gen <- t.gen + 1;
+      t.st.prefetch_installs <- t.st.prefetch_installs + 1;
       true
 
 let line_bytes t = t.cfg.line_bytes

@@ -1,18 +1,73 @@
 (** Set-associative LRU cache model with explicit prefetch insertion.
-    Addresses are byte addresses; only line tags are stored. *)
+    Addresses are byte addresses; only line tags are stored.
+
+    In addition to the element-wise {!access}, a handle-based bulk
+    interface supports the profiler's line-granular fast path
+    (DESIGN.md §9): every entry point leaves the clock/stamp/tag state
+    exactly equivalent to the corresponding sequence of plain [access]
+    calls, so batched simulation stays counter-exact. *)
 
 type cfg = { size_bytes : int; assoc : int; line_bytes : int }
+
+(** Live counters, observable in tests (e.g. the prefetcher behaviour
+    behind the paper's Table 2).  A [prefetch_hit] is a demand hit served
+    by a line that was installed by {!prefetch} and not yet
+    demand-touched. *)
+type stats = {
+  mutable accesses : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable prefetch_installs : int;
+  mutable prefetch_hits : int;
+}
 
 type t
 
 val create : cfg -> t
 (** Geometry must be power-of-two sets and line size. *)
 
+val dump : t -> int array * int array
+(** Snapshot of [(tags, stamps)], both [sets*assoc]-indexed; tag [-1] is
+    an invalid way.  Two caches whose tags agree and whose stamps induce
+    the same per-set recency order behave identically on any future
+    access sequence — the state-level oracle the fast-path differential
+    tests check beyond mere counter equality. *)
+
 val reset : t -> unit
+(** Invalidate all lines and zero the {!stats}. *)
 
 val access : t -> int -> bool
 (** [access t addr] returns [true] on hit; on miss the line is installed
     with LRU eviction. *)
+
+val access_way : t -> int -> bool * int
+(** Like {!access}, but also returns the way slot now holding the line —
+    a handle for {!touch_run}/{!way_line}. *)
+
+val access_run : t -> int -> int -> bool * int
+(** [access_run t addr n] performs [n] consecutive demand accesses to the
+    single cache line containing [addr] with one set/tag computation
+    (after the first access the line is resident, so the remaining [n-1]
+    are hits).  State and counters end exactly as after [n] successive
+    [access t addr] calls.  Returns the first access's (hit, way slot). *)
+
+val touch_run : t -> int -> int -> unit
+(** [touch_run t slot n] replays [n] guaranteed-hit accesses to the line
+    held by way slot [slot] in O(1).  Only valid when the line is known
+    resident at [slot] and already demand-touched — i.e. immediately
+    after {!access_way}/{!access_run} on it, or when {!generation} is
+    unchanged (or {!way_line} still matches) since then. *)
+
+val way_line : t -> int -> int
+(** The line tag currently held by a way slot ([-1] = invalid); used to
+    revalidate a memoized slot after installs elsewhere. *)
+
+val generation : t -> int
+(** Bumped on every line install (demand miss or prefetch).  While it is
+    unchanged no line can have been evicted, so memoized residency holds. *)
+
+val stats : t -> stats
+(** The live counter record of this cache (mutated in place). *)
 
 val prefetch : t -> int -> bool
 (** Install a line without counting a demand access; [true] if newly

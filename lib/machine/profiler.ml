@@ -21,7 +21,27 @@
    - Sampling: when the iteration space exceeds [max_points], outermost
      loops are truncated proportionally and the counters are rescaled
      (documented in DESIGN.md §5); [sampled] is set in the result and
-     numerical outputs are then partial. *)
+     numerical outputs are then partial.
+
+   Fast path (DESIGN.md §9): innermost loops whose statements access
+   memory affinely with stride 0 or 1 in the loop variable — the
+   contiguous-innermost structure ALT's own layout+loop tuning drives
+   towards — are executed by a line-granular batching engine instead of
+   the element-wise interpreter.  The engine walks the innermost loop in
+   *spans* (maximal iteration ranges in which no access stream crosses a
+   cache line and no accumulator spill fires): within a span every access
+   is a guaranteed cache hit, so per stream it costs one O(1)
+   [Cache.touch_run] instead of per-element tag probes, and the
+   per-iteration counter increments collapse to one bulk update per
+   statement run.  Values are computed in a separate tight loop over
+   pre-hoisted base offsets (base + stride·x), eliminating the
+   per-iteration closure chains and env reads of the scalar interpreter.
+   Every batched operation reproduces the exact clock/stamp/tag
+   transitions of the element-wise walk, so the produced counters are
+   bit-identical to the scalar interpreter's — proven by the differential
+   suite in test/test_fastsim.ml.  Gather/strided statements fall back to
+   the scalar interpreter.  [ALT_FAST_SIM=0] (or [~fast:false]) disables
+   the engine globally. *)
 
 module Var = Alt_tensor.Var
 module Shape = Alt_tensor.Shape
@@ -56,6 +76,29 @@ type result = {
   scale : float;
 }
 
+(* Fast-engine coverage counters (observability only; never affect the
+   simulation).  A "leaf group" is an innermost loop whose body is made of
+   Store/Reduce statements — the unit the fast engine batches. *)
+type engine_stats = {
+  mutable fast_groups : int; (* leaf groups compiled to the fast path *)
+  mutable scalar_groups : int; (* leaf groups that fell back *)
+  mutable fast_runs : int; (* innermost-loop executions, fast engine *)
+  mutable scalar_runs : int; (* innermost-loop executions, fallback *)
+}
+
+let fresh_engine_stats () =
+  { fast_groups = 0; scalar_groups = 0; fast_runs = 0; scalar_runs = 0 }
+
+(* ALT_FAST_SIM=0|false|off|no disables the fast path by default; callers
+   can still override per run with [~fast]. *)
+let fast_env =
+  lazy
+    (match Sys.getenv_opt "ALT_FAST_SIM" with
+    | Some ("0" | "false" | "off" | "no") -> false
+    | _ -> true)
+
+let fast_sim_enabled () = Lazy.force fast_env
+
 let elem_bytes = 4 (* float32 addressing model *)
 
 (* ------------------------------------------------------------------ *)
@@ -69,7 +112,12 @@ type ctx = {
   l1 : Cache.t;
   l2 : Cache.t;
   machine : Machine.t;
+  (* hoisted [Machine.t]/[Cache.t] fields, read on every access *)
+  prefetch_extra : int;
+  lb1 : int; (* l1 line bytes *)
+  shift1 : int; (* log2 lb1 *)
   c : counters;
+  es : engine_stats;
 }
 
 let mem_access ctx addr =
@@ -78,8 +126,8 @@ let mem_access ctx addr =
     ctx.c.l1_misses <- ctx.c.l1_misses +. 1.0;
     if not (Cache.access ctx.l2 addr) then
       ctx.c.l2_misses <- ctx.c.l2_misses +. 1.0;
-    let lb = Cache.line_bytes ctx.l1 in
-    for k = 1 to ctx.machine.Machine.prefetch_extra do
+    let lb = ctx.lb1 in
+    for k = 1 to ctx.prefetch_extra do
       ignore (Cache.prefetch ctx.l1 (addr + (k * lb)) : bool);
       ignore (Cache.prefetch ctx.l2 (addr + (k * lb)) : bool)
     done
@@ -254,7 +302,7 @@ let rec sim_points = function
   | Aleaf _ -> 1
 
 (* ------------------------------------------------------------------ *)
-(* Statement compilation                                              *)
+(* Register promotion                                                 *)
 (* ------------------------------------------------------------------ *)
 
 (* Register-promotion factor for a reduction accumulator: walk enclosing
@@ -280,27 +328,635 @@ let promotion_factor machine (enclosing : Program.loop list)
   in
   max 1 (walk 1 1 enclosing)
 
-let compile ctx (p : Program.t) ~(sample_ratio : float) =
+(* ------------------------------------------------------------------ *)
+(* Fast path: line-granular batched execution of innermost loops       *)
+(* ------------------------------------------------------------------ *)
+
+(* A per-iteration access stream of an innermost statement group: one
+   memory access per loop iteration at byte address [base + stride·4·x],
+   with a memoized cache-residency handle for O(1) re-touches.  Streams
+   are stored in exact scalar access order (per iteration: each leaf in
+   block order; within a leaf, loads in evaluation order, then the store
+   target). *)
+type stream = {
+  str_slot : int;
+  str_off : int array -> int; (* element offset at x = 0 *)
+  str_stride : int; (* elements per iteration: 0 or 1 *)
+  mutable str_addr : int; (* byte address at the current iteration *)
+  mutable str_line : int; (* memoized resident line; -1 = invalid *)
+  mutable str_way : int; (* cache way slot holding str_line *)
+  mutable str_gen : int; (* Cache.generation at the last validation *)
+}
+
+(* Hoisted base of a pure load/store used by the value loop. *)
+type pbase = {
+  pb_off : int array -> int;
+  pb_stride : int;
+  mutable pb_base : int; (* element offset at x = 0, refreshed per run *)
+}
+
+(* One statement under the innermost loop, compiled for batched
+   execution. *)
+type fast_leaf = {
+  fl_step : int -> unit; (* value update for iteration x *)
+  fl_run : int -> unit; (* whole-loop value update (single-leaf groups) *)
+  (* per-iteration counter deltas (exact dyadic floats; see DESIGN.md §9) *)
+  fl_d_loads : float;
+  fl_d_stores : float;
+  fl_d_insts : float;
+  fl_d_flops : float;
+  fl_d_l1acc : int;
+  (* accumulator spill state; fl_k = 0 for Store leaves *)
+  fl_k : int;
+  mutable fl_tick : int; (* persists across runs, like the scalar tick *)
+  mutable fl_spills : int; (* spills in the current run *)
+  fl_acc_slot : int;
+  fl_acc_off : int array -> int;
+  fl_acc_stride : int; (* any affine stride; spills are full accesses *)
+  fl_acc_cost : float;
+  mutable fl_acc_base : int; (* byte address at x = 0, refreshed per run *)
+}
+
+let rec pexpr_has_load = function
+  | Program.Pload _ -> true
+  | Program.Pconst _ -> false
+  | Program.Pbin (_, a, b) -> pexpr_has_load a || pexpr_has_load b
+  | Program.Pun (_, a) -> pexpr_has_load a
+  | Program.Pselect (_, a, b) -> pexpr_has_load a || pexpr_has_load b
+
+(* Loads under a Pselect execute conditionally, so the per-iteration
+   access set would vary — such statements fall back to the scalar
+   interpreter. *)
+let rec selects_load_free = function
+  | Program.Pload _ | Program.Pconst _ -> true
+  | Program.Pbin (_, a, b) -> selects_load_free a && selects_load_free b
+  | Program.Pun (_, a) -> selects_load_free a
+  | Program.Pselect (_, a, b) ->
+      (not (pexpr_has_load a)) && not (pexpr_has_load b)
+
+(* Loads of [e] in evaluation order.  [compile_pexpr] builds
+   [g (fa env) (fb env)] applications, whose arguments OCaml evaluates
+   right-to-left — so the right subtree's accesses fire first.  The
+   differential suite pins this order. *)
+let rec loads_in_order = function
+  | Program.Pload a -> [ a ]
+  | Program.Pconst _ -> []
+  | Program.Pbin (_, a, b) -> loads_in_order b @ loads_in_order a
+  | Program.Pun (_, a) -> loads_in_order a
+  | Program.Pselect (_, _, _) -> [] (* load-free by [selects_load_free] *)
+
+(* Pure value evaluator: loads read buffers directly at hoisted affine
+   offsets; no cache or counter effects.  Mirrors [compile_pexpr]'s
+   evaluation structure exactly, so float results are bit-identical. *)
+let rec compile_pure vm slots ctx (bases : pbase list ref)
+    (strides : Program.access -> int) (e : Program.pexpr) : int -> float =
+  match e with
+  | Program.Pconst f -> fun _ -> f
+  | Program.Pload a ->
+      let pb =
+        { pb_off = compile_offset vm slots a; pb_stride = strides a; pb_base = 0 }
+      in
+      bases := pb :: !bases;
+      let buf = ctx.bufs.(a.Program.slot) in
+      fun x -> buf.(pb.pb_base + (pb.pb_stride * x))
+  | Program.Pbin (op, a, b) ->
+      let fa = compile_pure vm slots ctx bases strides a
+      and fb = compile_pure vm slots ctx bases strides b in
+      let g = Sexpr.apply_binop op in
+      fun x -> g (fa x) (fb x)
+  | Program.Pun (op, a) ->
+      let fa = compile_pure vm slots ctx bases strides a in
+      let g = Sexpr.apply_unop op in
+      fun x -> g (fa x)
+  | Program.Pselect (c, a, b) ->
+      let fc = compile_cond vm c
+      and fa = compile_pure vm slots ctx bases strides a
+      and fb = compile_pure vm slots ctx bases strides b in
+      fun x -> if fc ctx.env then fa x else fb x
+
+(* Bulk counter updates are products [delta * iterations].  They equal the
+   scalar interpreter's one-by-one float additions exactly because every
+   per-iteration cost is a dyadic rational (1, 1/lanes with power-of-two
+   lanes, integer arith counts and their /lanes scalings), so both the
+   partial sums and the products are computed without rounding. *)
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+type fast_plan = {
+  fp_streams : stream array;
+  fp_leaves : fast_leaf array;
+  fp_pbases : pbase array;
+  fp_d_l1acc : int; (* per-iteration accesses, all leaves *)
+}
+
+(* Try to compile the body [b] of innermost loop [l] into a fast plan.
+   Returns [None] — scalar fallback — unless every statement is a
+   Store/Reduce whose per-iteration accesses are affine with stride 0 or 1
+   in the loop variable (gather/strided bodies), with no loads under
+   selects, and at most one Reduce placed last (spill ordering). *)
+let fast_plan_of vm slots (vc : vec_ctx) ctx machine
+    (enclosing : Program.loop list) (l : Program.loop) (b : astmt) :
+    fast_plan option =
+  let exception Fallback in
+  try
+    if not (is_pow2 machine.Machine.lanes) then raise Fallback;
+    let rec flatten = function
+      | Aleaf s -> [ s ]
+      | Ablock lst -> List.concat_map flatten lst
+      | Afor _ -> raise Fallback
+    in
+    let stmts = flatten b in
+    if stmts = [] then raise Fallback;
+    (* at most one Reduce, and only in last position (spills must come
+       after every other access of the same iteration) *)
+    let n = List.length stmts in
+    List.iteri
+      (fun i s ->
+        match s with
+        | Program.Reduce _ when i < n - 1 -> raise Fallback
+        | _ -> ())
+      stmts;
+    let v = Some l.Program.v in
+    let stride01 a =
+      match vec_stride slots a v with
+      | Some ((0 | 1) as s) -> s
+      | Some _ | None -> raise Fallback
+    in
+    let stride_any a =
+      match vec_stride slots a v with Some s -> s | None -> raise Fallback
+    in
+    let vslot = var_slot vm l.Program.v in
+    let streams = ref [] and pbases = ref [] in
+    (* Whole-loop value runner from a per-iteration step; the loop
+       variable's env slot tracks x for Pselect conditions. *)
+    let generic_run (step : int -> unit) simn =
+      let env = ctx.env in
+      for x = 0 to simn - 1 do
+        env.(vslot) <- x;
+        step x
+      done
+    in
+    let mk_stream a =
+      let s =
+        {
+          str_slot = a.Program.slot;
+          str_off = compile_offset vm slots a;
+          str_stride = stride01 a;
+          str_addr = 0;
+          str_line = -1;
+          str_way = 0;
+          str_gen = -1;
+        }
+      in
+      streams := s :: !streams;
+      s
+    in
+    let compile_leaf (s : Program.stmt) : fast_leaf =
+      match s with
+      | Program.Store (a, e) ->
+          if not (selects_load_free e) then raise Fallback;
+          let lds = loads_in_order e in
+          List.iter (fun la -> ignore (mk_stream la : stream)) lds;
+          let st = mk_stream a in
+          ignore (st : stream);
+          let loads_cost =
+            List.fold_left
+              (fun acc la -> acc +. access_inst_cost slots vc la)
+              0.0 lds
+          in
+          let st_cost = access_inst_cost slots vc a in
+          let arith = float_of_int (pexpr_arith e) in
+          let arith_scaled =
+            match vc.vvar with
+            | None -> arith
+            | Some _ -> arith /. float_of_int vc.lanes
+          in
+          let fe = compile_pure vm slots ctx pbases stride_any e in
+          let spb =
+            { pb_off = compile_offset vm slots a; pb_stride = stride01 a;
+              pb_base = 0 }
+          in
+          pbases := spb :: !pbases;
+          let buf = ctx.bufs.(a.Program.slot) in
+          let step x = buf.(spb.pb_base + (spb.pb_stride * x)) <- fe x in
+          let run =
+            match e with
+            | Program.Pconst cst ->
+                (* tile-init loops: one fill instead of simn closure calls;
+                   stride 0 degenerates to one (idempotent) write *)
+                fun simn ->
+                  if spb.pb_stride = 1 then Array.fill buf spb.pb_base simn cst
+                  else buf.(spb.pb_base) <- cst
+            | _ -> generic_run step
+          in
+          {
+            fl_step = step;
+            fl_run = run;
+            fl_d_loads = loads_cost;
+            fl_d_stores = st_cost;
+            fl_d_insts = loads_cost +. st_cost +. arith_scaled;
+            fl_d_flops = arith;
+            fl_d_l1acc = List.length lds + 1;
+            fl_k = 0;
+            fl_tick = 0;
+            fl_spills = 0;
+            fl_acc_slot = 0;
+            fl_acc_off = (fun _ -> 0);
+            fl_acc_stride = 0;
+            fl_acc_cost = 0.0;
+            fl_acc_base = 0;
+          }
+      | Program.Reduce (a, r, e) ->
+          if not (selects_load_free e) then raise Fallback;
+          let lds = loads_in_order e in
+          List.iter (fun la -> ignore (mk_stream la : stream)) lds;
+          let loads_cost =
+            List.fold_left
+              (fun acc la -> acc +. access_inst_cost slots vc la)
+              0.0 lds
+          in
+          let arith = float_of_int (pexpr_arith e + 1) in
+          let arith_scaled =
+            match vc.vvar with
+            | None -> arith
+            | Some _ -> arith /. float_of_int vc.lanes
+          in
+          let acc_cost = access_inst_cost slots vc a in
+          let k = promotion_factor machine enclosing a in
+          let astride = stride_any a in
+          let apb =
+            { pb_off = compile_offset vm slots a; pb_stride = astride;
+              pb_base = 0 }
+          in
+          pbases := apb :: !pbases;
+          let buf = ctx.bufs.(a.Program.slot) in
+          let step, run =
+            match e with
+            | Program.Pbin
+                (Sexpr.Bmul, Program.Pload la, Program.Pload lb)
+              when r = Program.Rsum ->
+                (* the multiply-accumulate kernel every conv/matmul/depthwise
+                   reduction lowers to: run it as a tight array loop, with
+                   loop-invariant (stride-0) operands hoisted when they
+                   cannot alias the accumulator *)
+                let pba =
+                  { pb_off = compile_offset vm slots la;
+                    pb_stride = stride_any la; pb_base = 0 }
+                and pbb =
+                  { pb_off = compile_offset vm slots lb;
+                    pb_stride = stride_any lb; pb_base = 0 }
+                in
+                pbases := pba :: pbb :: !pbases;
+                let ba = ctx.bufs.(la.Program.slot)
+                and bb = ctx.bufs.(lb.Program.slot) in
+                let sa = pba.pb_stride and sb = pbb.pb_stride in
+                let alias_a = la.Program.slot = a.Program.slot
+                and alias_b = lb.Program.slot = a.Program.slot in
+                let step x =
+                  let o = apb.pb_base + (astride * x) in
+                  buf.(o) <-
+                    buf.(o)
+                    +. (ba.(pba.pb_base + (sa * x))
+                       *. bb.(pbb.pb_base + (sb * x)))
+                in
+                let run simn =
+                  let oa = pba.pb_base
+                  and ob = pbb.pb_base
+                  and oc = apb.pb_base in
+                  if astride = 0 && (not alias_a) && not alias_b then begin
+                    (* scalar accumulator: defer the store to the end *)
+                    let acc = ref buf.(oc) in
+                    (if sa = 0 then
+                       let va = ba.(oa) in
+                       for x = 0 to simn - 1 do
+                         acc := !acc +. (va *. bb.(ob + (sb * x)))
+                       done
+                     else if sb = 0 then
+                       let vb = bb.(ob) in
+                       for x = 0 to simn - 1 do
+                         acc := !acc +. (ba.(oa + (sa * x)) *. vb)
+                       done
+                     else
+                       for x = 0 to simn - 1 do
+                         acc :=
+                           !acc +. (ba.(oa + (sa * x)) *. bb.(ob + (sb * x)))
+                       done);
+                    buf.(oc) <- !acc
+                  end
+                  else if sa = 0 && not alias_a then begin
+                    let va = ba.(oa) in
+                    for x = 0 to simn - 1 do
+                      let o = oc + (astride * x) in
+                      buf.(o) <- buf.(o) +. (va *. bb.(ob + (sb * x)))
+                    done
+                  end
+                  else if sb = 0 && not alias_b then begin
+                    let vb = bb.(ob) in
+                    for x = 0 to simn - 1 do
+                      let o = oc + (astride * x) in
+                      buf.(o) <- buf.(o) +. (ba.(oa + (sa * x)) *. vb)
+                    done
+                  end
+                  else
+                    for x = 0 to simn - 1 do
+                      let o = oc + (astride * x) in
+                      buf.(o) <-
+                        buf.(o)
+                        +. (ba.(oa + (sa * x)) *. bb.(ob + (sb * x)))
+                    done
+                in
+                (step, run)
+            | _ ->
+                let fe = compile_pure vm slots ctx pbases stride_any e in
+                let combine =
+                  match r with
+                  | Program.Rsum -> Float.add
+                  | Program.Rmax -> Float.max
+                in
+                let step x =
+                  let v = fe x in
+                  let o = apb.pb_base + (astride * x) in
+                  buf.(o) <- combine buf.(o) v
+                in
+                (step, generic_run step)
+          in
+          {
+            fl_step = step;
+            fl_run = run;
+            fl_d_loads = loads_cost;
+            fl_d_stores = 0.0;
+            fl_d_insts = loads_cost +. arith_scaled;
+            fl_d_flops = arith;
+            fl_d_l1acc = List.length lds;
+            fl_k = k;
+            fl_tick = 0;
+            fl_spills = 0;
+            fl_acc_slot = a.Program.slot;
+            fl_acc_off = compile_offset vm slots a;
+            fl_acc_stride = astride;
+            fl_acc_cost = acc_cost;
+            fl_acc_base = 0;
+          }
+      | Program.For _ | Program.Block _ -> raise Fallback
+    in
+    let leaves = Array.of_list (List.map compile_leaf stmts) in
+    let streams = Array.of_list (List.rev !streams) in
+    let d_l1acc = Array.fold_left (fun a fl -> a + fl.fl_d_l1acc) 0 leaves in
+    Some
+      {
+        fp_streams = streams;
+        fp_leaves = leaves;
+        fp_pbases = Array.of_list !pbases;
+        fp_d_l1acc = d_l1acc;
+      }
+  with Fallback -> None
+
+(* Like [mem_access], but counting misses into int refs flushed in bulk. *)
+let fast_mem_access ctx mis1 mis2 addr =
+  if not (Cache.access ctx.l1 addr) then begin
+    incr mis1;
+    if not (Cache.access ctx.l2 addr) then incr mis2;
+    let lb = ctx.lb1 in
+    for k = 1 to ctx.prefetch_extra do
+      ignore (Cache.prefetch ctx.l1 (addr + (k * lb)) : bool);
+      ignore (Cache.prefetch ctx.l2 (addr + (k * lb)) : bool)
+    done
+  end
+
+(* One execution of an innermost loop through the batching engine:
+   value pass (tight loop over hoisted offsets), then the span walk over
+   the cache model, then one bulk counter flush. *)
+let make_fast_runner ctx (plan : fast_plan) vslot sim =
+  let streams = plan.fp_streams
+  and leaves = plan.fp_leaves
+  and pbases = plan.fp_pbases in
+  let n_streams = Array.length streams
+  and n_leaves = Array.length leaves
+  and n_pbases = Array.length pbases in
+  let l1 = ctx.l1 in
+  let lb = ctx.lb1 and shift = ctx.shift1 in
+  let fsim = float_of_int sim in
+  fun () ->
+    ctx.es.fast_runs <- ctx.es.fast_runs + 1;
+    let env = ctx.env in
+    env.(vslot) <- 0;
+    (* refresh hoisted bases at x = 0 *)
+    for i = 0 to n_streams - 1 do
+      let s = streams.(i) in
+      s.str_addr <- ctx.bases.(s.str_slot) + (s.str_off env * elem_bytes)
+    done;
+    for i = 0 to n_pbases - 1 do
+      let pb = pbases.(i) in
+      pb.pb_base <- pb.pb_off env
+    done;
+    for i = 0 to n_leaves - 1 do
+      let fl = leaves.(i) in
+      fl.fl_spills <- 0;
+      if fl.fl_k > 0 then
+        fl.fl_acc_base <-
+          ctx.bases.(fl.fl_acc_slot) + (fl.fl_acc_off env * elem_bytes)
+    done;
+    (* value pass: pure, independent of the cache model.  Single-leaf
+       groups (the common case) run the leaf's compiled whole-loop
+       runner; multi-leaf blocks interleave per iteration, since a later
+       leaf may read what an earlier one wrote at the same iteration. *)
+    if n_leaves = 1 then leaves.(0).fl_run sim
+    else
+      for x = 0 to sim - 1 do
+        env.(vslot) <- x;
+        for i = 0 to n_leaves - 1 do
+          leaves.(i).fl_step x
+        done
+      done;
+    (* cache pass: span walk *)
+    let mis1 = ref 0 and mis2 = ref 0 in
+    let x = ref 0 in
+    while !x < sim do
+      (* span length: iterations until any stride-1 stream crosses a line
+         or an accumulator spill fires *)
+      let m = ref (sim - !x) in
+      for i = 0 to n_streams - 1 do
+        let s = streams.(i) in
+        if s.str_stride = 1 then begin
+          let within = (lb - (s.str_addr land (lb - 1))) / elem_bytes in
+          if within < !m then m := within
+        end
+      done;
+      for i = 0 to n_leaves - 1 do
+        let fl = leaves.(i) in
+        if fl.fl_k > 0 then begin
+          let d = fl.fl_k - fl.fl_tick in
+          if d < !m then m := d
+        end
+      done;
+      let m = !m in
+      (* Iteration !x, exact scalar access order: O(1) memoized touch when
+         no line was installed since the stream's last validation,
+         otherwise one real (possibly missing) access. *)
+      for i = 0 to n_streams - 1 do
+        let s = streams.(i) in
+        let addr = s.str_addr in
+        let line = addr lsr shift in
+        if s.str_line = line && s.str_gen = Cache.generation l1 then
+          Cache.touch_run l1 s.str_way 1
+        else begin
+          let hit, way = Cache.access_way l1 addr in
+          s.str_line <- line;
+          s.str_way <- way;
+          if not hit then begin
+            incr mis1;
+            if not (Cache.access ctx.l2 addr) then incr mis2;
+            for k = 1 to ctx.prefetch_extra do
+              ignore (Cache.prefetch l1 (addr + (k * lb)) : bool);
+              ignore (Cache.prefetch ctx.l2 (addr + (k * lb)) : bool)
+            done
+          end;
+          s.str_gen <- Cache.generation l1
+        end
+      done;
+      (* Iterations !x+1 .. !x+m-1: no stream crosses a line and no spill
+         fires, so if every stream's line survived the fronts above, all
+         remaining accesses are guaranteed hits — collapsible to one
+         O(1) touch_run per stream (within-set stamp order is preserved:
+         each stream's final stamp keeps its per-iteration relative
+         order).  A front install may however have evicted another
+         stream's line (more active streams than ways in one set): such
+         spans replay element-wise, which is scalar by construction. *)
+      if m > 1 then begin
+        let gen = Cache.generation l1 in
+        let resident = ref true in
+        for i = 0 to n_streams - 1 do
+          let s = streams.(i) in
+          if s.str_gen <> gen && Cache.way_line l1 s.str_way <> s.str_line
+          then resident := false
+        done;
+        if !resident then
+          for i = 0 to n_streams - 1 do
+            let s = streams.(i) in
+            if s.str_gen = gen then Cache.touch_run l1 s.str_way (m - 1)
+            else begin
+              (* resident but installs happened since validation: re-probe
+                 once (also settles the prefetched bit), then bulk-touch *)
+              ignore (Cache.access_run l1 s.str_addr (m - 1) : bool * int);
+              s.str_gen <- gen
+            end
+          done
+        else
+          for y = 1 to m - 1 do
+            for i = 0 to n_streams - 1 do
+              let s = streams.(i) in
+              let addr = s.str_addr + (s.str_stride * elem_bytes * y) in
+              let hit, way = Cache.access_way l1 addr in
+              s.str_way <- way;
+              if not hit then begin
+                incr mis1;
+                if not (Cache.access ctx.l2 addr) then incr mis2;
+                for k = 1 to ctx.prefetch_extra do
+                  ignore (Cache.prefetch l1 (addr + (k * lb)) : bool);
+                  ignore (Cache.prefetch ctx.l2 (addr + (k * lb)) : bool)
+                done
+              end;
+              s.str_gen <- Cache.generation l1
+            done
+          done
+      end;
+      for i = 0 to n_streams - 1 do
+        let s = streams.(i) in
+        s.str_addr <- s.str_addr + (s.str_stride * elem_bytes * m)
+      done;
+      (* accumulator spills fire after the loads of their iteration *)
+      for i = 0 to n_leaves - 1 do
+        let fl = leaves.(i) in
+        if fl.fl_k > 0 then begin
+          fl.fl_tick <- fl.fl_tick + m;
+          if fl.fl_tick >= fl.fl_k then begin
+            fl.fl_tick <- 0;
+            fl.fl_spills <- fl.fl_spills + 1;
+            let addr =
+              fl.fl_acc_base
+              + (fl.fl_acc_stride * elem_bytes * (!x + m - 1))
+            in
+            fast_mem_access ctx mis1 mis2 addr;
+            fast_mem_access ctx mis1 mis2 addr
+          end
+        end
+      done;
+      x := !x + m
+    done;
+    (* bulk counter flush *)
+    let c = ctx.c in
+    let spill_acc = ref 0 in
+    for i = 0 to n_leaves - 1 do
+      let fl = leaves.(i) in
+      c.loads <- c.loads +. (fl.fl_d_loads *. fsim);
+      c.stores <- c.stores +. (fl.fl_d_stores *. fsim);
+      c.insts <- c.insts +. (fl.fl_d_insts *. fsim);
+      c.flops <- c.flops +. (fl.fl_d_flops *. fsim);
+      if fl.fl_spills > 0 then begin
+        let ns = float_of_int fl.fl_spills in
+        c.loads <- c.loads +. (fl.fl_acc_cost *. ns);
+        c.stores <- c.stores +. (fl.fl_acc_cost *. ns);
+        c.insts <- c.insts +. (2.0 *. fl.fl_acc_cost *. ns);
+        spill_acc := !spill_acc + fl.fl_spills
+      end
+    done;
+    c.l1_accesses <-
+      c.l1_accesses
+      +. float_of_int ((plan.fp_d_l1acc * sim) + (2 * !spill_acc));
+    c.l1_misses <- c.l1_misses +. float_of_int !mis1;
+    c.l2_misses <- c.l2_misses +. float_of_int !mis2
+
+(* ------------------------------------------------------------------ *)
+(* Statement compilation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec all_leaves = function
+  | Aleaf _ -> true
+  | Ablock l -> l <> [] && List.for_all all_leaves l
+  | Afor _ -> false
+
+let compile ctx (p : Program.t) ~(sample_ratio : float) ~(fast : bool) =
   let machine = ctx.machine in
   let vm = { tbl = Hashtbl.create 64; next = 0 } in
   let slots = p.Program.slots in
   let ann = annotate sample_ratio p.Program.body in
   (* enclosing: innermost-first loop list; vc: vectorization context *)
   let rec comp (enclosing : Program.loop list) (vc : vec_ctx) = function
-    | Afor (l, sim, b) ->
+    | Afor (l, sim, b) -> (
         let slot = var_slot vm l.Program.v in
         let vc' =
           if l.Program.kind = Program.Vectorized then
             { vvar = Some l.Program.v; lanes = machine.Machine.lanes }
           else vc
         in
-        let fb = comp (l :: enclosing) vc' b in
-        fun () ->
-          let env = ctx.env in
-          for x = 0 to sim - 1 do
-            env.(slot) <- x;
-            fb ()
-          done
+        let enclosing' = l :: enclosing in
+        let plan =
+          if fast && all_leaves b then
+            fast_plan_of vm slots vc' ctx machine enclosing' l b
+          else None
+        in
+        match plan with
+        | Some plan ->
+            ctx.es.fast_groups <- ctx.es.fast_groups + 1;
+            make_fast_runner ctx plan slot sim
+        | None ->
+            if all_leaves b then
+              ctx.es.scalar_groups <- ctx.es.scalar_groups + 1;
+            let fb = comp enclosing' vc' b in
+            if all_leaves b then
+              fun () ->
+                ctx.es.scalar_runs <- ctx.es.scalar_runs + 1;
+                let env = ctx.env in
+                for x = 0 to sim - 1 do
+                  env.(slot) <- x;
+                  fb ()
+                done
+            else
+              fun () ->
+                let env = ctx.env in
+                for x = 0 to sim - 1 do
+                  env.(slot) <- x;
+                  fb ()
+                done)
     | Ablock lst ->
         let fs = List.map (comp enclosing vc) lst in
         fun () -> List.iter (fun f -> f ()) fs
@@ -390,8 +1046,13 @@ let latency_of_counters machine ~(c : counters) ~(par : int) =
   in
   serial /. speedup
 
-let run ?(machine = Machine.intel_cpu) ?max_points (p : Program.t)
-    ~(bufs : float array array) : result =
+let log2_exact n =
+  let rec go k = if 1 lsl k = n then k else go (k + 1) in
+  go 0
+
+let run ?(machine = Machine.intel_cpu) ?max_points ?fast ?engine
+    (p : Program.t) ~(bufs : float array array) : result =
+  let fast = match fast with Some f -> f | None -> fast_sim_enabled () in
   if Array.length bufs <> Array.length p.Program.slots then
     invalid_arg "Profiler.run: buffer count mismatch";
   Array.iteri
@@ -421,6 +1082,8 @@ let run ?(machine = Machine.intel_cpu) ?max_points (p : Program.t)
       l2_misses = 0.0;
     }
   in
+  let es = match engine with Some es -> es | None -> fresh_engine_stats () in
+  let lb1 = machine.Machine.l1.Cache.line_bytes in
   let ctx =
     {
       env = [||];
@@ -429,10 +1092,14 @@ let run ?(machine = Machine.intel_cpu) ?max_points (p : Program.t)
       l1 = Cache.create machine.Machine.l1;
       l2 = Cache.create machine.Machine.l2;
       machine;
+      prefetch_extra = machine.Machine.prefetch_extra;
+      lb1;
+      shift1 = log2_exact lb1;
       c;
+      es;
     }
   in
-  let vm, runner, ann = compile ctx p ~sample_ratio:ratio in
+  let vm, runner, ann = compile ctx p ~sample_ratio:ratio ~fast in
   let simulated = sim_points ann in
   let scale = float_of_int total /. float_of_int (max 1 simulated) in
   (* Distinct, line-aligned base addresses per slot. *)

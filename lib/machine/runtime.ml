@@ -33,11 +33,11 @@ let output_logical (p : Program.t) (bufs : float array array) name :
 
 (* Run a program end to end on logical inputs; returns the logical contents
    of every non-input slot plus the profiler result. *)
-let run_logical ?machine ?max_points (p : Program.t)
+let run_logical ?machine ?max_points ?fast (p : Program.t)
     ~(inputs : (string * float array) list) :
     (string * float array) list * Profiler.result =
   let bufs = alloc_bufs p ~inputs in
-  let r = Profiler.run ?machine ?max_points p ~bufs in
+  let r = Profiler.run ?machine ?max_points ?fast p ~bufs in
   let outs =
     Array.to_list p.Program.slots
     |> List.filter (fun (s : Program.slot) -> s.Program.role <> Program.Input)

@@ -14,8 +14,8 @@ val output_logical : Program.t -> float array array -> string -> float array
 (** Unpack a non-input slot back to logical row-major data. *)
 
 val run_logical :
-  ?machine:Machine.t -> ?max_points:int -> Program.t ->
+  ?machine:Machine.t -> ?max_points:int -> ?fast:bool -> Program.t ->
   inputs:(string * float array) list ->
   (string * float array) list * Profiler.result
 (** Run end-to-end on logical inputs; returns the logical contents of every
-    non-input slot plus the profile. *)
+    non-input slot plus the profile.  [fast] is passed to {!Profiler.run}. *)

@@ -79,7 +79,7 @@ type tuned_graph = {
 }
 
 let tune_graph ?(seed = 0) ?(jobs = 1) ?(levels = 1) ?(max_points = 30_000)
-    ?faults ?retries ~(system : gsystem) ~(machine : Machine.t)
+    ?faults ?retries ?fast ~(system : gsystem) ~(machine : Machine.t)
     ~(budget : int) (g : Graph.t) : tuned_graph =
   let complex = Graph.complex_nodes g in
   (* deduplicate by signature *)
@@ -113,7 +113,7 @@ let tune_graph ?(seed = 0) ?(jobs = 1) ?(levels = 1) ?(max_points = 30_000)
       in
       let task =
         Measure.make_task ~fused:fused_ops ~max_points ?faults ?retries
-          ~machine node.Graph.op
+          ?fast ~machine node.Graph.op
       in
       let r =
         match system with

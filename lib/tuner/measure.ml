@@ -78,6 +78,7 @@ type task = {
   fused : Opdef.t list;
   machine : Machine.t;
   max_points : int;
+  fast : bool; (* line-granular fast simulation (counter-identical) *)
   feeds : (string * float array) list; (* logical data for all inputs *)
   mutable spent : int; (* measurements consumed *)
   cache : (string, Profiler.result) Hashtbl.t;
@@ -106,7 +107,8 @@ let task_inputs (op : Opdef.t) (fused : Opdef.t list) =
   !acc
 
 let make_task ?(fused = []) ?(max_points = 40_000) ?(seed = 11)
-    ?(faults = Fault.none) ?(retries = 2) ?watchdog_points ~machine op =
+    ?(faults = Fault.none) ?(retries = 2) ?watchdog_points
+    ?(fast = Profiler.fast_sim_enabled ()) ~machine op =
   if retries < 0 then invalid_arg "Measure.make_task: retries must be >= 0";
   let feeds =
     List.mapi
@@ -118,6 +120,7 @@ let make_task ?(fused = []) ?(max_points = 40_000) ?(seed = 11)
     fused;
     machine;
     max_points;
+    fast;
     feeds;
     spent = 0;
     cache = Hashtbl.create 64;
@@ -354,7 +357,8 @@ let simulate (t : task) (prog : Program.t) : Profiler.result =
             Array.make (Layout.num_physical_elements s.Program.layout) 0.0)
       prog.Program.slots
   in
-  Profiler.run ~machine:t.machine ~max_points:t.max_points prog ~bufs
+  Profiler.run ~machine:t.machine ~max_points:t.max_points ~fast:t.fast prog
+    ~bufs
 
 (* Iteration points of a program — what the watchdog compares against its
    hard cap. *)

@@ -50,6 +50,10 @@ type task = {
       (** elementwise chain co-tuned with the operator (end-to-end flow) *)
   machine : Machine.t;
   max_points : int; (** per-measurement simulation budget *)
+  fast : bool;
+      (** use the profiler's line-granular fast engine; counters are
+          identical either way, so [fast] is deliberately excluded from
+          {!fingerprint} — checkpoints are interchangeable across it *)
   feeds : (string * float array) list;
   mutable spent : int; (** measurements consumed (cache hits included) *)
   cache : (string, Profiler.result) Hashtbl.t;
@@ -66,10 +70,12 @@ type task = {
 
 val make_task :
   ?fused:Opdef.t list -> ?max_points:int -> ?seed:int -> ?faults:Fault.t ->
-  ?retries:int -> ?watchdog_points:int -> machine:Machine.t -> Opdef.t -> task
+  ?retries:int -> ?watchdog_points:int -> ?fast:bool -> machine:Machine.t ->
+  Opdef.t -> task
 (** [retries] defaults to 2.  With the default [faults] ({!Fault.none})
     and no [watchdog_points], the measurement pipeline is byte-identical
-    to a fault-free build. *)
+    to a fault-free build.  [fast] defaults to
+    {!Profiler.fast_sim_enabled} (the [ALT_FAST_SIM] knob). *)
 
 val cache_stats : task -> cache_stats
 val fault_stats : task -> fault_stats
