@@ -1,5 +1,6 @@
 # Tier-1 gate: everything builds, every test suite passes.
-.PHONY: all check test bench bench-profiler bench-profiler-smoke fault-smoke clean
+.PHONY: all check test bench bench-profiler bench-profiler-smoke \
+	bench-tuner bench-tuner-smoke fault-smoke clean
 
 all:
 	dune build @all
@@ -25,7 +26,17 @@ bench-profiler:
 bench-profiler-smoke:
 	ALT_BENCH_SCALE=smoke dune exec bench/bench_profiler.exe
 
-check: all test bench-profiler-smoke fault-smoke
+# search-side micro-benchmark: times GBDT fitting (per-node re-sort vs
+# presort-and-partition) and candidate ranking (per-sample vs batched
+# prediction), plus an old-vs-new tune_alt wall-clock comparison
+# (ALT_GBDT_REFERENCE=1 pins the seed fitter), writes BENCH_tuner.json
+bench-tuner:
+	dune exec bench/bench_tuner.exe
+
+bench-tuner-smoke:
+	ALT_BENCH_SCALE=smoke dune exec bench/bench_tuner.exe
+
+check: all test bench-profiler-smoke bench-tuner-smoke fault-smoke
 
 # quick-scale regeneration of the paper's tables and figures
 bench:

@@ -114,6 +114,17 @@ let fast_arg =
            (counters are identical to the scalar interpreter either way). \
            Defaults to true unless ALT_FAST_SIM=0 is set.")
 
+let warm_start_arg =
+  Arg.(
+    value & flag
+    & info [ "warm-start-model" ]
+        ~doc:
+          "Keep the GBDT cost model's trees across measurement batches and \
+           boost a few new trees on the grown dataset instead of refitting \
+           from scratch.  Faster fits, but the model (and therefore the \
+           tuning trajectory) differs from a from-scratch fit, so this is \
+           off by default.")
+
 let op_kind_arg =
   Arg.(
     value & opt string "c2d"
@@ -193,7 +204,7 @@ let system_arg =
 let tune_op_cmd =
   let run machine budget seed jobs kind batch channels out_channels spatial
       kernel stride system fault_rate fault_seed retries watchdog checkpoint
-      resume fast =
+      resume fast warm_start =
     setup_logs ();
     let jobs = resolve_jobs jobs in
     let op =
@@ -206,14 +217,21 @@ let tune_op_cmd =
     in
     let t0 = Unix.gettimeofday () in
     let r =
-      Tuner.tune_op ~seed ~jobs ?checkpoint ?resume ~system ~budget task
+      Tuner.tune_op ~seed ~jobs ~warm_start ?checkpoint ?resume ~system
+        ~budget task
     in
     let elapsed = Unix.gettimeofday () -. t0 in
     let stats = Measure.cache_stats task in
+    let ls = Measure.lower_stats task in
     Fmt.pr "system      : %s@." (Tuner.system_name system);
     Fmt.pr "machine     : %a@." Machine.pp machine;
     Fmt.pr "jobs        : %d (%.2fs wall; cache %d hits / %d misses)@." jobs
       elapsed stats.Measure.hits stats.Measure.misses;
+    Fmt.pr
+      "search cache: lowering %d hits / %d misses, features %d hits / %d \
+       misses@."
+      ls.Measure.prog_hits ls.Measure.prog_misses ls.Measure.feat_hits
+      ls.Measure.feat_misses;
     (if Fault.active faults || watchdog <> None then
        let fs = Measure.fault_stats task in
        Fmt.pr
@@ -245,7 +263,8 @@ let tune_op_cmd =
       const run $ machine_arg $ budget_arg $ seed_arg $ jobs_arg $ op_kind_arg
       $ batch_arg $ channels_arg $ out_channels_arg $ spatial_arg $ kernel_arg
       $ stride_arg $ system_arg $ fault_rate_arg $ fault_seed_arg
-      $ retries_arg $ watchdog_arg $ checkpoint_arg $ resume_arg $ fast_arg)
+      $ retries_arg $ watchdog_arg $ checkpoint_arg $ resume_arg $ fast_arg
+      $ warm_start_arg)
 
 (* ------------------------------------------------------------------ *)
 (* tune-model                                                         *)
@@ -272,7 +291,7 @@ let gsystem_arg =
 
 let tune_model_cmd =
   let run machine budget seed jobs model batch system fault_rate fault_seed
-      retries fast =
+      retries fast warm_start =
     setup_logs ();
     let jobs = resolve_jobs jobs in
     let faults = faults_of ~rate:fault_rate ~seed:fault_seed in
@@ -289,8 +308,8 @@ let tune_model_cmd =
       (Graph_tuner.gsystem_name system)
       Machine.pp machine budget;
     let tg =
-      Graph_tuner.tune_graph ~seed ~jobs ~faults ~retries ~fast ~system
-        ~machine ~budget spec.Zoo.graph
+      Graph_tuner.tune_graph ~seed ~jobs ~faults ~retries ~fast ~warm_start
+        ~system ~machine ~budget spec.Zoo.graph
     in
     let r = Graph_tuner.run tg ~machine in
     Fmt.pr "end-to-end latency: %.4f ms@." r.Compile.latency_ms;
@@ -304,7 +323,7 @@ let tune_model_cmd =
     Term.(
       const run $ machine_arg $ budget_arg $ seed_arg $ jobs_arg $ model_arg
       $ batch_arg $ gsystem_arg $ fault_rate_arg $ fault_seed_arg
-      $ retries_arg $ fast_arg)
+      $ retries_arg $ fast_arg $ warm_start_arg)
 
 (* ------------------------------------------------------------------ *)
 (* show-op                                                            *)

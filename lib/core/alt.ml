@@ -63,12 +63,13 @@ module Zoo = Alt_models.Zoo
     round journal (see DESIGN.md §8). *)
 let tune_operator ?(machine = Machine.intel_cpu) ?(budget = 200)
     ?(max_points = 40_000) ?seed ?jobs ?levels ?faults ?retries
-    ?watchdog_points ?checkpoint ?resume (op : Opdef.t) : Tuner.result =
+    ?watchdog_points ?warm_start ?checkpoint ?resume (op : Opdef.t) :
+    Tuner.result =
   let task =
     Measure.make_task ~machine ~max_points ?faults ?retries ?watchdog_points
       op
   in
-  Tuner.tune_alt ?seed ?jobs ?levels ?checkpoint ?resume
+  Tuner.tune_alt ?seed ?jobs ?levels ?warm_start ?checkpoint ?resume
     ~joint_budget:(budget * 3 / 10)
     ~loop_budget:(budget * 7 / 10)
     task
@@ -76,9 +77,9 @@ let tune_operator ?(machine = Machine.intel_cpu) ?(budget = 200)
 (** Tune and compile an end-to-end model. *)
 let compile_model ?(system = Graph_tuner.Galt) ?(machine = Machine.intel_cpu)
     ?(budget = 400) ?max_points ?seed ?jobs ?levels ?faults ?retries
-    (g : Graph.t) : Graph_tuner.tuned_graph =
+    ?warm_start (g : Graph.t) : Graph_tuner.tuned_graph =
   Graph_tuner.tune_graph ?seed ?jobs ?levels ?max_points ?faults ?retries
-    ~system ~machine ~budget g
+    ?warm_start ~system ~machine ~budget g
 
 (** Execute a tuned model on its machine model and report the simulated
     end-to-end latency. *)

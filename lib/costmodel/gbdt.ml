@@ -4,16 +4,49 @@
    Squared-error boosting over depth-limited regression trees with
    shrinkage.  The tuner trains on (features, log-latency) pairs collected
    from simulator measurements and uses predictions to pick the top-k
-   candidates to actually measure. *)
+   candidates to actually measure.
+
+   Two fitters produce the same trees:
+
+   - [fit] is the exact-greedy fitter (XGBoost's "exact" tree method):
+     every feature column is argsorted {e once per fit}, and each node
+     receives its samples as per-feature index partitions that stay sorted
+     all the way down the tree (a stable partition by split membership).
+     Total sort cost is O(d n log n) per fit instead of
+     O(trees x nodes x d x n log n).
+
+   - [fit_reference] is the seed implementation (a fresh per-node
+     per-feature [Array.sort]), kept verbatim as the differential oracle
+     for tests and benchmarks.
+
+   Both enumerate split candidates in the same order with the same
+   floating-point expressions, so on tie-free feature columns the trees
+   are bit-identical (the equivalence test draws continuous random data).
+   When a feature column has {e tied} values inside a node, the reference
+   fitter's unstable sort may permute the tied run differently than the
+   stable partition; the split {e sets} still agree exactly (splits never
+   separate tied values), and only the last-ulp rounding of the tied run's
+   prefix sums could differ — see DESIGN.md §10. *)
 
 type tree =
   | Leaf of float
   | Node of { feat : int; thresh : float; left : tree; right : tree }
 
+(* A tree flattened to arrays for allocation-free batched prediction:
+   node [i] is a leaf iff [ffeat.(i) < 0], in which case [fthresh.(i)] is
+   the leaf value; otherwise go to [fleft.(i)] / [fright.(i)]. *)
+type flat = {
+  ffeat : int array;
+  fthresh : float array;
+  fleft : int array;
+  fright : int array;
+}
+
 type t = {
   base : float;
   trees : tree list;
   shrinkage : float;
+  flats : flat array; (* trees, flattened, in boosting order *)
 }
 
 type params = {
@@ -37,6 +70,60 @@ let predict t x =
     (fun acc tree -> acc +. (t.shrinkage *. predict_tree tree x))
     t.base t.trees
 
+(* ------------------------------------------------------------------ *)
+(* Flattened trees and batched prediction                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec tree_size = function
+  | Leaf _ -> 1
+  | Node { left; right; _ } -> 1 + tree_size left + tree_size right
+
+let flatten (tree : tree) : flat =
+  let n = tree_size tree in
+  let ffeat = Array.make n (-1) in
+  let fthresh = Array.make n 0.0 in
+  let fleft = Array.make n 0 in
+  let fright = Array.make n 0 in
+  let next = ref 0 in
+  let rec go t =
+    let i = !next in
+    incr next;
+    (match t with
+    | Leaf v -> fthresh.(i) <- v
+    | Node { feat; thresh; left; right } ->
+        ffeat.(i) <- feat;
+        fthresh.(i) <- thresh;
+        fleft.(i) <- go left;
+        fright.(i) <- go right);
+    i
+  in
+  ignore (go tree : int);
+  { ffeat; fthresh; fleft; fright }
+
+(* Tree-major: each flat's arrays stay in cache across the whole batch.
+   Per candidate the accumulation order and expressions mirror [predict]
+   exactly (base, then [acc +. shrinkage *. tree] in boosting order), so
+   the two are bit-equal on every input — the tuner's ranking pass may
+   use either. *)
+let predict_batch t (xs : float array array) : float array =
+  let n = Array.length xs in
+  let out = Array.make n t.base in
+  let shrinkage = t.shrinkage in
+  Array.iter
+    (fun f ->
+      let ffeat = f.ffeat and fthresh = f.fthresh in
+      let fleft = f.fleft and fright = f.fright in
+      for c = 0 to n - 1 do
+        let x = xs.(c) in
+        let i = ref 0 in
+        while ffeat.(!i) >= 0 do
+          i := if x.(ffeat.(!i)) <= fthresh.(!i) then fleft.(!i) else fright.(!i)
+        done;
+        out.(c) <- out.(c) +. (shrinkage *. fthresh.(!i))
+      done)
+    t.flats;
+  out
+
 let mean a idx =
   if Array.length idx = 0 then 0.0
   else
@@ -46,6 +133,209 @@ let mean a idx =
 let sse a idx =
   let m = mean a idx in
   Array.fold_left (fun s i -> s +. ((a.(i) -. m) ** 2.0)) 0.0 idx
+
+(* ------------------------------------------------------------------ *)
+(* Exact-greedy fitter (presort once per fit)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Best (feature, threshold) split of a node given [cols]: for each
+   feature, the node's sample indices sorted by that feature (threaded
+   down from the per-fit presort, never re-sorted).  [idx] is the node's
+   samples in the reference fitter's visitation order, used only for the
+   order-sensitive [parent_sse] float sum.  Returns the winning
+   [(gain, feat, thresh, i)] with [i] the left-child size in the sorted
+   column — the split candidates, their enumeration order and every
+   floating-point expression are those of the reference fitter. *)
+let best_split_sorted (xs : float array array) (ys : float array)
+    ~(cols : int array array) ~(idx : int array) ~min_samples =
+  let nfeat = Array.length cols in
+  let best = ref None in
+  let parent_sse = sse ys idx in
+  for f = 0 to nfeat - 1 do
+    let sorted = cols.(f) in
+    let n = Array.length sorted in
+    (* prefix sums for O(n) split evaluation *)
+    let psum = Array.make (n + 1) 0.0 and psq = Array.make (n + 1) 0.0 in
+    for i = 0 to n - 1 do
+      psum.(i + 1) <- psum.(i) +. ys.(sorted.(i));
+      psq.(i + 1) <- psq.(i) +. (ys.(sorted.(i)) ** 2.0)
+    done;
+    for i = min_samples to n - min_samples do
+      if xs.(sorted.(i - 1)).(f) < xs.(sorted.(i)).(f) then begin
+        let ln = float_of_int i and rn = float_of_int (n - i) in
+        let lsum = psum.(i) and rsum = psum.(n) -. psum.(i) in
+        let lsq = psq.(i) and rsq = psq.(n) -. psq.(i) in
+        let lsse = lsq -. (lsum *. lsum /. ln) in
+        let rsse = rsq -. (rsum *. rsum /. rn) in
+        let gain = parent_sse -. (lsse +. rsse) in
+        let thresh = (xs.(sorted.(i - 1)).(f) +. xs.(sorted.(i)).(f)) /. 2.0 in
+        match !best with
+        | Some (g, _, _, _) when g >= gain -> ()
+        | _ -> best := Some (gain, f, thresh, i)
+      end
+    done
+  done;
+  !best
+
+(* Stable partition of every sorted column by left-child membership.
+   Membership is decided by {e rank} in the split feature's column (the
+   first [i] entries), not by comparing against the threshold — midpoint
+   thresholds can round onto a boundary value, and rank is what the
+   reference fitter's [Array.sub] uses.  [mark] is a per-fit scratch
+   array; marks are cleared before returning. *)
+let partition_cols (cols : int array array) ~(feat : int) ~(i : int)
+    ~(mark : bool array) =
+  let sf = cols.(feat) in
+  let n = Array.length sf in
+  for k = 0 to i - 1 do
+    mark.(sf.(k)) <- true
+  done;
+  let split col =
+    let l = Array.make i 0 and r = Array.make (n - i) 0 in
+    let li = ref 0 and ri = ref 0 in
+    Array.iter
+      (fun s ->
+        if mark.(s) then begin
+          l.(!li) <- s;
+          incr li
+        end
+        else begin
+          r.(!ri) <- s;
+          incr ri
+        end)
+      col;
+    (l, r)
+  in
+  let lcols = Array.make (Array.length cols) [||] in
+  let rcols = Array.make (Array.length cols) [||] in
+  Array.iteri
+    (fun f col ->
+      let l, r = split col in
+      lcols.(f) <- l;
+      rcols.(f) <- r)
+    cols;
+  for k = 0 to i - 1 do
+    mark.(sf.(k)) <- false
+  done;
+  (lcols, rcols)
+
+let rec fit_tree_sorted xs ys ~idx ~cols ~depth ~params ~mark =
+  if
+    depth >= params.max_depth
+    || Array.length idx < 2 * params.min_samples
+    || sse ys idx < 1e-10
+  then Leaf (mean ys idx)
+  else
+    match
+      best_split_sorted xs ys ~cols ~idx ~min_samples:params.min_samples
+    with
+    | None -> Leaf (mean ys idx)
+    | Some (gain, feat, thresh, i) ->
+        if gain <= 1e-12 || i = 0 || i = Array.length idx then
+          Leaf (mean ys idx)
+        else begin
+          let lcols, rcols = partition_cols cols ~feat ~i ~mark in
+          (* the reference fitter hands children their samples in the
+             split feature's sorted order ([Array.sub sorted 0 i]) — the
+             partitioned column is exactly that array *)
+          Node
+            {
+              feat;
+              thresh;
+              left =
+                fit_tree_sorted xs ys ~idx:lcols.(feat) ~cols:lcols
+                  ~depth:(depth + 1) ~params ~mark;
+              right =
+                fit_tree_sorted xs ys ~idx:rcols.(feat) ~cols:rcols
+                  ~depth:(depth + 1) ~params ~mark;
+            }
+        end
+
+(* Argsort every feature column once; shared by all trees of a fit (the
+   sort key is x, which boosting never changes). The comparator and the
+   input permutation match the reference fitter's root-node sort, so the
+   presorted columns are bit-compatible with it. *)
+let presort (xs : float array array) ~n ~nfeat =
+  Array.init nfeat (fun f ->
+      let a = Array.init n (fun i -> i) in
+      Array.sort (fun i j -> Float.compare xs.(i).(f) xs.(j).(f)) a;
+      a)
+
+(* Boost [n_new] trees onto [residual] (mutated in place), reusing the
+   per-fit presorted columns. *)
+let boost xs residual ~cols ~mark ~params ~shrinkage ~n_new =
+  let trees = ref [] in
+  let n = Array.length xs in
+  let idx = Array.init n (fun i -> i) in
+  for _ = 1 to n_new do
+    let tree = fit_tree_sorted xs residual ~idx ~cols ~depth:0 ~params ~mark in
+    trees := tree :: !trees;
+    Array.iteri
+      (fun i _ ->
+        residual.(i) <-
+          residual.(i) -. (shrinkage *. predict_tree tree xs.(i)))
+      residual
+  done;
+  List.rev !trees
+
+let fit ?(params = default_params) (xs : float array array) (ys : float array)
+    : t =
+  if Array.length xs = 0 then
+    { base = 0.0; trees = []; shrinkage = params.learning_rate; flats = [||] }
+  else begin
+    let n = Array.length xs in
+    let nfeat = Array.length xs.(0) in
+    let base = mean ys (Array.init n (fun i -> i)) in
+    let residual = Array.map (fun y -> y -. base) ys in
+    let cols = presort xs ~n ~nfeat in
+    let mark = Array.make n false in
+    let trees =
+      boost xs residual ~cols ~mark ~params ~shrinkage:params.learning_rate
+        ~n_new:params.n_trees
+    in
+    {
+      base;
+      trees;
+      shrinkage = params.learning_rate;
+      flats = Array.of_list (List.map flatten trees);
+    }
+  end
+
+(* Warm start: keep the existing ensemble (base, shrinkage, trees) and
+   boost [extra_trees] new trees on the residuals of the {e full} grown
+   dataset.  The base is deliberately not recentered — the new trees
+   absorb any drift of the data mean, exactly as later boosting rounds
+   would.  Off by default in the tuner because the resulting model (and
+   hence the tuning trajectory) differs from a from-scratch fit. *)
+let refit ?(params = default_params) ?extra_trees (t : t)
+    (xs : float array array) (ys : float array) : t =
+  let n_new =
+    match extra_trees with
+    | Some e ->
+        if e < 0 then invalid_arg "Gbdt.refit: extra_trees must be >= 0";
+        e
+    | None -> max 1 (params.n_trees / 5)
+  in
+  if Array.length xs = 0 || n_new = 0 then t
+  else begin
+    let n = Array.length xs in
+    let nfeat = Array.length xs.(0) in
+    let residual = Array.init n (fun i -> ys.(i) -. predict t xs.(i)) in
+    let cols = presort xs ~n ~nfeat in
+    let mark = Array.make n false in
+    let trees =
+      boost xs residual ~cols ~mark ~params ~shrinkage:t.shrinkage ~n_new
+    in
+    {
+      t with
+      trees = t.trees @ trees;
+      flats = Array.append t.flats (Array.of_list (List.map flatten trees));
+    }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reference fitter (the seed implementation, kept as the oracle)     *)
+(* ------------------------------------------------------------------ *)
 
 (* Best (feature, threshold) split of [idx] minimizing children SSE. *)
 let best_split (xs : float array array) (ys : float array) (idx : int array)
@@ -103,10 +393,10 @@ let rec fit_tree xs ys idx ~depth ~params =
               right = fit_tree xs ys ri ~depth:(depth + 1) ~params;
             }
 
-let fit ?(params = default_params) (xs : float array array) (ys : float array)
-    : t =
+let fit_reference ?(params = default_params) (xs : float array array)
+    (ys : float array) : t =
   if Array.length xs = 0 then
-    { base = 0.0; trees = []; shrinkage = params.learning_rate }
+    { base = 0.0; trees = []; shrinkage = params.learning_rate; flats = [||] }
   else begin
     let n = Array.length xs in
     let base = mean ys (Array.init n (fun i -> i)) in
@@ -122,8 +412,34 @@ let fit ?(params = default_params) (xs : float array array) (ys : float array)
             residual.(i) -. (params.learning_rate *. predict_tree tree xs.(i)))
         residual
     done;
-    { base; trees = List.rev !trees; shrinkage = params.learning_rate }
+    let trees = List.rev !trees in
+    {
+      base;
+      trees;
+      shrinkage = params.learning_rate;
+      flats = Array.of_list (List.map flatten trees);
+    }
   end
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let n_trees t = List.length t.trees
+
+let rec tree_equal a b =
+  match (a, b) with
+  | Leaf x, Leaf y -> Float.equal x y
+  | Node a, Node b ->
+      a.feat = b.feat
+      && Float.equal a.thresh b.thresh
+      && tree_equal a.left b.left && tree_equal a.right b.right
+  | _ -> false
+
+let equal a b =
+  Float.equal a.base b.base
+  && Float.equal a.shrinkage b.shrinkage
+  && List.equal tree_equal a.trees b.trees
 
 (* Coefficient of determination on a held-out set — used in tests. *)
 let r2 t xs ys =

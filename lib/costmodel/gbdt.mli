@@ -13,9 +13,38 @@ type params = {
 val default_params : params
 
 val fit : ?params:params -> float array array -> float array -> t
-(** Squared-error boosting of depth-limited trees with shrinkage. *)
+(** Squared-error boosting of depth-limited trees with shrinkage, using
+    the exact-greedy fitter: each feature column is argsorted once per fit
+    and sorted index partitions are threaded down the tree, so total sort
+    cost is O(d n log n) instead of per-node per-feature.  Produces the
+    same trees as {!fit_reference} (bit-identical on tie-free feature
+    columns; see DESIGN.md §10 for the tie caveat). *)
+
+val fit_reference : ?params:params -> float array array -> float array -> t
+(** The seed fitter (a fresh [Array.sort] per node per feature), kept as
+    the differential oracle for tests and benchmarks.  Same trees as
+    {!fit}, O(log n) slower per node. *)
+
+val refit : ?params:params -> ?extra_trees:int -> t ->
+  float array array -> float array -> t
+(** Warm start: keep the ensemble and boost [extra_trees] new trees
+    (default [max 1 (params.n_trees / 5)]) on the residuals of the full
+    grown dataset.  The base and shrinkage are inherited; the base is not
+    recentered.  Raises [Invalid_argument] on negative [extra_trees]. *)
 
 val predict : t -> float array -> float
+
+val predict_batch : t -> float array array -> float array
+(** Rank a whole candidate batch over the flattened tree arrays.
+    Bit-equal to mapping {!predict} (same fold order and float
+    expressions), just faster and allocation-free per node. *)
+
+val n_trees : t -> int
+(** Number of boosted trees in the ensemble. *)
+
+val equal : t -> t -> bool
+(** Structural equality with exact float comparison — the old-vs-new
+    fitter equivalence check. *)
 
 val r2 : t -> float array array -> float array -> float
 (** Coefficient of determination on a held-out set. *)

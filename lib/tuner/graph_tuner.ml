@@ -79,8 +79,8 @@ type tuned_graph = {
 }
 
 let tune_graph ?(seed = 0) ?(jobs = 1) ?(levels = 1) ?(max_points = 30_000)
-    ?faults ?retries ?fast ~(system : gsystem) ~(machine : Machine.t)
-    ~(budget : int) (g : Graph.t) : tuned_graph =
+    ?faults ?retries ?fast ?memo ?warm_start ~(system : gsystem)
+    ~(machine : Machine.t) ~(budget : int) (g : Graph.t) : tuned_graph =
   let complex = Graph.complex_nodes g in
   (* deduplicate by signature *)
   let uniq : (string, Graph.node * Graph.node list) Hashtbl.t =
@@ -113,7 +113,7 @@ let tune_graph ?(seed = 0) ?(jobs = 1) ?(levels = 1) ?(max_points = 30_000)
       in
       let task =
         Measure.make_task ~fused:fused_ops ~max_points ?faults ?retries
-          ?fast ~machine node.Graph.op
+          ?fast ?memo ~machine node.Graph.op
       in
       let r =
         match system with
@@ -122,8 +122,8 @@ let tune_graph ?(seed = 0) ?(jobs = 1) ?(levels = 1) ?(max_points = 30_000)
               ~budget:per_task_budget task
         | Gautotvm ->
             (* NeoCPU-style: fixed blocked layout, restricted loop space *)
-            Tuner.tune_loop_only ~seed ~jobs ~explorer:Tuner.Restricted
-              ~budget:per_task_budget
+            Tuner.tune_loop_only ~seed ~jobs ?warm_start
+              ~explorer:Tuner.Restricted ~budget:per_task_budget
               ~layouts:
                 [
                   Templates.blocked_choice node.Graph.op
@@ -131,8 +131,8 @@ let tune_graph ?(seed = 0) ?(jobs = 1) ?(levels = 1) ?(max_points = 30_000)
                 ]
               task
         | Gansor ->
-            Tuner.tune_loop_only ~seed ~jobs ~explorer:Tuner.Guided
-              ~budget:per_task_budget
+            Tuner.tune_loop_only ~seed ~jobs ?warm_start
+              ~explorer:Tuner.Guided ~budget:per_task_budget
               ~layouts:
                 [
                   Templates.blocked_choice node.Graph.op
@@ -140,12 +140,12 @@ let tune_graph ?(seed = 0) ?(jobs = 1) ?(levels = 1) ?(max_points = 30_000)
                 ]
               task
         | Galt_ol ->
-            Tuner.tune_loop_only ~seed ~jobs ~explorer:Tuner.Guided
-              ~budget:per_task_budget
+            Tuner.tune_loop_only ~seed ~jobs ?warm_start
+              ~explorer:Tuner.Guided ~budget:per_task_budget
               ~layouts:[ Templates.channels_last_choice node.Graph.op ]
               task
         | Galt | Galt_wp ->
-            Tuner.tune_alt ~seed ~jobs ~levels
+            Tuner.tune_alt ~seed ~jobs ~levels ?warm_start
               ~joint_budget:(per_task_budget * 4 / 10)
               ~loop_budget:(per_task_budget * 6 / 10)
               task

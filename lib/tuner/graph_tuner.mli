@@ -31,14 +31,17 @@ type tuned_graph = {
 
 val tune_graph :
   ?seed:int -> ?jobs:int -> ?levels:int -> ?max_points:int ->
-  ?faults:Alt_faults.Fault.t -> ?retries:int -> ?fast:bool ->
-  system:gsystem -> machine:Machine.t -> budget:int -> Graph.t -> tuned_graph
+  ?faults:Alt_faults.Fault.t -> ?retries:int -> ?fast:bool -> ?memo:bool ->
+  ?warm_start:bool -> system:gsystem -> machine:Machine.t -> budget:int ->
+  Graph.t -> tuned_graph
 (** [jobs] bounds the domains used for concurrent measurements per tuning
     task; results are identical for every value (see {!Tuner}).  [faults]
     and [retries] configure each per-task measurement pipeline (see
     {!Measure}).  [fast] selects the profiler's fast engine per task
-    (default: the [ALT_FAST_SIM] knob); trajectories are identical either
-    way. *)
+    (default: the [ALT_FAST_SIM] knob) and [memo] the per-task
+    lowering/feature memo cache (default on); trajectories are identical
+    either way.  [warm_start] keeps each task's cost model across batches
+    (off by default; changes trajectories — see {!Tuner.tune_alt}). *)
 
 val run :
   ?max_points:int -> ?seed:int -> tuned_graph -> machine:Machine.t ->

@@ -54,8 +54,16 @@ module Profiler = Alt_machine.Profiler
 module Propagate = Alt_graph.Propagate
 module Pool = Alt_parallel.Pool
 module Fault = Alt_faults.Fault
+module Features = Alt_costmodel.Features
 
 type cache_stats = { mutable hits : int; mutable misses : int }
+
+type lower_stats = {
+  mutable prog_hits : int;
+  mutable prog_misses : int;
+  mutable feat_hits : int;
+  mutable feat_misses : int;
+}
 
 type fault_stats = {
   mutable faulted : int;
@@ -89,6 +97,12 @@ type task = {
   watchdog_points : int option; (* hard cap on a candidate's points *)
   quarantine : (string, string) Hashtbl.t; (* digest -> failure reason *)
   fstats : fault_stats;
+  memo : bool; (* (choice, schedule)-keyed lowering/feature memo cache *)
+  lcache : (string, Program.t option) Hashtbl.t;
+      (* candidate digest -> lowered program (or None: illegal) *)
+  fcache : (string, float array) Hashtbl.t;
+      (* candidate digest -> cost-model feature vector *)
+  lstats : lower_stats;
 }
 
 (* All external input tensors of the task (op inputs + fused extras). *)
@@ -108,7 +122,7 @@ let task_inputs (op : Opdef.t) (fused : Opdef.t list) =
 
 let make_task ?(fused = []) ?(max_points = 40_000) ?(seed = 11)
     ?(faults = Fault.none) ?(retries = 2) ?watchdog_points
-    ?(fast = Profiler.fast_sim_enabled ()) ~machine op =
+    ?(fast = Profiler.fast_sim_enabled ()) ?(memo = true) ~machine op =
   if retries < 0 then invalid_arg "Measure.make_task: retries must be >= 0";
   let feeds =
     List.mapi
@@ -132,14 +146,28 @@ let make_task ?(fused = []) ?(max_points = 40_000) ?(seed = 11)
     fstats =
       { faulted = 0; retried = 0; recovered = 0; quarantined = 0;
         backoff_ms = 0.0 };
+    memo;
+    lcache = Hashtbl.create 256;
+    fcache = Hashtbl.create 256;
+    lstats = { prog_hits = 0; prog_misses = 0; feat_hits = 0; feat_misses = 0 };
   }
 
 let cache_stats t = t.stats
 let fault_stats t = t.fstats
+let lower_stats t = t.lstats
+let lower_cache_sizes t = (Hashtbl.length t.lcache, Hashtbl.length t.fcache)
+
+(* Digest of a candidate's (choice, schedule) pair — the key of the
+   lowering/feature memo cache.  Both are pure immutable data (shapes,
+   layout primitive lists, tile arrays), so their marshalled bytes are a
+   canonical serialization: equal values give equal keys, and distinct
+   values give distinct keys up to digest collision. *)
+let memo_key (choice : Propagate.choice) (schedule : Schedule.t) : string =
+  Digest.string (Marshal.to_string (choice, schedule) [])
 
 (* Build the program for a candidate; None if the combination is illegal. *)
-let program_of (t : task) (choice : Propagate.choice) (schedule : Schedule.t) :
-    Program.t option =
+let lower_candidate (t : task) (choice : Propagate.choice)
+    (schedule : Schedule.t) : Program.t option =
   let layouts name =
     match List.assoc_opt name choice.Propagate.in_layouts with
     | Some l -> l
@@ -164,6 +192,50 @@ let program_of (t : task) (choice : Propagate.choice) (schedule : Schedule.t) :
       (Lower.lower ~op:t.op ~layouts ~out_layout:choice.Propagate.out_layout
          ~fused ~schedule ())
   with Lower.Lower_error _ | Layout.Layout_error _ | Invalid_argument _ -> None
+
+(* Memoized lowering.  A cached hit returns the program lowered for the
+   first occurrence of the (choice, schedule) pair; the replay is
+   trajectory-neutral because everything downstream is invariant under
+   relowering — the measurement-cache key canonicalizes variable ids, the
+   profiler and the feature extractor read only program structure. *)
+let program_of (t : task) (choice : Propagate.choice) (schedule : Schedule.t) :
+    Program.t option =
+  if not t.memo then lower_candidate t choice schedule
+  else begin
+    let key = memo_key choice schedule in
+    match Hashtbl.find_opt t.lcache key with
+    | Some p ->
+        t.lstats.prog_hits <- t.lstats.prog_hits + 1;
+        p
+    | None ->
+        let p = lower_candidate t choice schedule in
+        t.lstats.prog_misses <- t.lstats.prog_misses + 1;
+        Hashtbl.add t.lcache key p;
+        p
+  end
+
+(* Memoized cost-model features of a candidate, shared between the
+   ranking pass and the measurement pass; None iff it does not lower.
+   [feat_misses] counts actual [Features.extract] calls, so with the memo
+   on it equals the number of distinct featurized candidates. *)
+let features_of (t : task) (choice : Propagate.choice)
+    (schedule : Schedule.t) : float array option =
+  if not t.memo then
+    Option.map (Features.extract t.machine) (lower_candidate t choice schedule)
+  else
+    let key = memo_key choice schedule in
+    match Hashtbl.find_opt t.fcache key with
+    | Some f ->
+        t.lstats.feat_hits <- t.lstats.feat_hits + 1;
+        Some f
+    | None -> (
+        match program_of t choice schedule with
+        | None -> None
+        | Some p ->
+            let f = Features.extract t.machine p in
+            t.lstats.feat_misses <- t.lstats.feat_misses + 1;
+            Hashtbl.add t.fcache key f;
+            Some f)
 
 (* ------------------------------------------------------------------ *)
 (* Canonical program serialization (cache keys)                       *)

@@ -17,6 +17,18 @@ module Fault = Alt_faults.Fault
 type cache_stats = { mutable hits : int; mutable misses : int }
 (** Measurement-cache counters: [hits] were served without simulation. *)
 
+type lower_stats = {
+  mutable prog_hits : int;
+      (** lowerings served from the (choice, schedule) memo cache *)
+  mutable prog_misses : int;  (** actual [Lower.lower] invocations *)
+  mutable feat_hits : int;
+      (** feature vectors served from the memo cache *)
+  mutable feat_misses : int;  (** actual [Features.extract] invocations *)
+}
+(** Counters of the lowering/feature memo cache (DESIGN.md §10): with the
+    memo on, each candidate is lowered and featurized at most once per
+    task, shared between the tuner's ranking and measurement passes. *)
+
 type fault_stats = {
   mutable faulted : int;
       (** candidates whose first simulation attempt failed *)
@@ -66,23 +78,47 @@ type task = {
           report {!Timeout} without simulating ([None] = no cap) *)
   quarantine : (string, string) Hashtbl.t; (** digest -> reason; internal *)
   fstats : fault_stats;
+  memo : bool;
+      (** memoize lowering and feature extraction per (choice, schedule);
+          trajectory-neutral, so — like [fast] — deliberately excluded
+          from {!fingerprint} *)
+  lcache : (string, Program.t option) Hashtbl.t;
+      (** candidate digest -> lowered program; internal *)
+  fcache : (string, float array) Hashtbl.t;
+      (** candidate digest -> feature vector; internal *)
+  lstats : lower_stats;
 }
 
 val make_task :
   ?fused:Opdef.t list -> ?max_points:int -> ?seed:int -> ?faults:Fault.t ->
-  ?retries:int -> ?watchdog_points:int -> ?fast:bool -> machine:Machine.t ->
-  Opdef.t -> task
+  ?retries:int -> ?watchdog_points:int -> ?fast:bool -> ?memo:bool ->
+  machine:Machine.t -> Opdef.t -> task
 (** [retries] defaults to 2.  With the default [faults] ({!Fault.none})
     and no [watchdog_points], the measurement pipeline is byte-identical
     to a fault-free build.  [fast] defaults to
-    {!Profiler.fast_sim_enabled} (the [ALT_FAST_SIM] knob). *)
+    {!Profiler.fast_sim_enabled} (the [ALT_FAST_SIM] knob).  [memo]
+    (default true) enables the per-task lowering/feature memo cache —
+    results are identical either way, only repeated work changes. *)
 
 val cache_stats : task -> cache_stats
 val fault_stats : task -> fault_stats
 
+val lower_stats : task -> lower_stats
+
+val lower_cache_sizes : task -> int * int
+(** [(lowered entries, feature entries)] currently memoized — with the
+    memo on, [feat_misses = snd (lower_cache_sizes t)] (each distinct
+    candidate is featurized exactly once). *)
+
 val program_of : task -> Propagate.choice -> Schedule.t -> Program.t option
 (** Lower a candidate; [None] when the combination is illegal (costs no
-    budget, like real tuners filtering invalid configs). *)
+    budget, like real tuners filtering invalid configs).  Served from the
+    per-task memo cache when [memo] is on. *)
+
+val features_of : task -> Propagate.choice -> Schedule.t -> float array option
+(** Cost-model feature vector of a candidate ([None] iff it does not
+    lower), memoized per (choice, schedule) alongside the lowering so the
+    ranking pass and the measurement pass share one extraction. *)
 
 val program_key : Program.t -> string
 (** Canonical serialization of a lowered program, invariant under variable

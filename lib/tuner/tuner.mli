@@ -48,18 +48,25 @@ val actor_input_dim : int
 val tune_alt :
   ?seed:int -> ?jobs:int -> ?levels:int ->
   ?layout_explorer:[ `Random | `Ppo_fresh | `Ppo of Ppo.t ] ->
-  ?seed_layouts:bool -> ?checkpoint:string -> ?resume:string ->
-  ?on_round:(int -> unit) ->
+  ?seed_layouts:bool -> ?warm_start:bool -> ?checkpoint:string ->
+  ?resume:string -> ?on_round:(int -> unit) ->
   joint_budget:int -> loop_budget:int -> Measure.task -> result
 (** The ALT tuner.  The joint stage seeds with heuristic layouts, then
     cross-explores template layouts with the layout agent, assessing each
     by rounds of loop tuning; the loop-only stage greedily allocates the
-    remaining budget over the best-ranked layouts. *)
+    remaining budget over the best-ranked layouts.
+
+    [warm_start] (default false) makes the cost model keep its trees
+    across batches and boost a few new ones on the grown dataset instead
+    of refitting from scratch (DESIGN.md §10).  Off by default because a
+    warm model ranks candidates differently than a from-scratch fit, so
+    the tuning trajectory diverges from the reference one — with it off,
+    trajectories are bit-identical to the pre-warm-start tuner. *)
 
 val tune_loop_only :
-  ?seed:int -> ?jobs:int -> ?checkpoint:string -> ?resume:string ->
-  ?on_round:(int -> unit) -> explorer:loop_explorer -> budget:int ->
-  layouts:Propagate.choice list -> Measure.task -> result
+  ?seed:int -> ?jobs:int -> ?warm_start:bool -> ?checkpoint:string ->
+  ?resume:string -> ?on_round:(int -> unit) -> explorer:loop_explorer ->
+  budget:int -> layouts:Propagate.choice list -> Measure.task -> result
 (** Loop tuning over fixed layout candidates, splitting the budget across
     them (the paper tries NOHW and NHWO for baselines and reports the
     best). *)
@@ -82,6 +89,6 @@ val tune_vendor :
     blocked layout; no search. *)
 
 val tune_op :
-  ?seed:int -> ?jobs:int -> ?checkpoint:string -> ?resume:string ->
-  ?on_round:(int -> unit) -> system:system -> budget:int -> Measure.task ->
-  result
+  ?seed:int -> ?jobs:int -> ?warm_start:bool -> ?checkpoint:string ->
+  ?resume:string -> ?on_round:(int -> unit) -> system:system -> budget:int ->
+  Measure.task -> result
