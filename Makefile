@@ -1,6 +1,6 @@
 # Tier-1 gate: everything builds, every test suite passes.
 .PHONY: all check test bench bench-profiler bench-profiler-smoke \
-	bench-tuner bench-tuner-smoke fault-smoke clean
+	bench-tuner bench-tuner-smoke fault-smoke obs-smoke clean
 
 all:
 	dune build @all
@@ -36,7 +36,17 @@ bench-tuner:
 bench-tuner-smoke:
 	ALT_BENCH_SCALE=smoke dune exec bench/bench_tuner.exe
 
-check: all test bench-profiler-smoke bench-tuner-smoke fault-smoke
+# Observability gate: a traced+metered tuning run must emit a trace the
+# validator accepts (seq/timestamps/span nesting) and a well-formed
+# metrics snapshot (DESIGN.md §11); obs-validate exits non-zero otherwise.
+obs-smoke:
+	dune exec bin/alt_cli.exe -- tune-op --op c2d --channels 4 \
+	  --out-channels 8 --spatial 6 --budget 24 --seed 1 --jobs 2 \
+	  --trace obs_smoke.trace.jsonl --metrics obs_smoke.metrics.json
+	dune exec bin/alt_cli.exe -- obs-validate \
+	  --trace obs_smoke.trace.jsonl --metrics obs_smoke.metrics.json
+
+check: all test bench-profiler-smoke bench-tuner-smoke fault-smoke obs-smoke
 
 # quick-scale regeneration of the paper's tables and figures
 bench:

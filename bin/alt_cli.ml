@@ -104,6 +104,37 @@ let resume_arg =
 let faults_of ~rate ~seed =
   if rate > 0.0 then Fault.create ~seed ~rate () else Fault.none
 
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a structured JSONL trace of the run (spans and per-round \
+           tuner telemetry) to $(docv).  Off by default; the ALT_TRACE \
+           environment variable is an equivalent knob.  Tracing is \
+           trajectory-neutral: the tuning result is bit-identical with it \
+           on or off.")
+
+let metrics_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Enable metrics collection and write the final registry snapshot \
+           as JSON to $(docv) at exit.  Off by default; the ALT_METRICS \
+           environment variable is an equivalent knob.  Collection is \
+           trajectory-neutral.")
+
+(* Install the observability sinks: explicit flags win, otherwise the
+   ALT_TRACE / ALT_METRICS environment knobs apply. *)
+let setup_obs ~trace ~metrics =
+  (match trace with
+  | Some path -> Trace.configure ~path
+  | None -> Trace.configure_from_env ());
+  match metrics with
+  | Some path -> Metrics.set_output path
+  | None -> Metrics.configure_from_env ()
+
 let fast_arg =
   Arg.(
     value
@@ -204,8 +235,9 @@ let system_arg =
 let tune_op_cmd =
   let run machine budget seed jobs kind batch channels out_channels spatial
       kernel stride system fault_rate fault_seed retries watchdog checkpoint
-      resume fast warm_start =
+      resume fast warm_start trace metrics =
     setup_logs ();
+    setup_obs ~trace ~metrics;
     let jobs = resolve_jobs jobs in
     let op =
       make_op kind ~batch ~channels ~out_channels ~spatial ~kernel ~stride
@@ -221,24 +253,39 @@ let tune_op_cmd =
         ~budget task
     in
     let elapsed = Unix.gettimeofday () -. t0 in
-    let stats = Measure.cache_stats task in
-    let ls = Measure.lower_stats task in
+    (* the summary below prints from the metrics registry: the task's
+       stats structs are published once (unconditionally), so the output
+       is byte-identical to the struct-printing code it replaced, with or
+       without --metrics *)
+    Measure.publish_obs task;
+    let c name = Metrics.counter_value (Metrics.counter name) in
+    let g name =
+      match Metrics.gauge_value (Metrics.gauge name) with
+      | Some v -> v
+      | None -> 0.0
+    in
     Fmt.pr "system      : %s@." (Tuner.system_name system);
     Fmt.pr "machine     : %a@." Machine.pp machine;
     Fmt.pr "jobs        : %d (%.2fs wall; cache %d hits / %d misses)@." jobs
-      elapsed stats.Measure.hits stats.Measure.misses;
+      elapsed
+      (c "measure.cache.hits")
+      (c "measure.cache.misses");
     Fmt.pr
       "search cache: lowering %d hits / %d misses, features %d hits / %d \
        misses@."
-      ls.Measure.prog_hits ls.Measure.prog_misses ls.Measure.feat_hits
-      ls.Measure.feat_misses;
+      (c "measure.lower.prog_hits")
+      (c "measure.lower.prog_misses")
+      (c "measure.lower.feat_hits")
+      (c "measure.lower.feat_misses");
     (if Fault.active faults || watchdog <> None then
-       let fs = Measure.fault_stats task in
        Fmt.pr
          "faults      : %d faulted, %d retries (%.0f ms backoff), %d \
           recovered, %d quarantined@."
-         fs.Measure.faulted fs.Measure.retried fs.Measure.backoff_ms
-         fs.Measure.recovered fs.Measure.quarantined);
+         (c "measure.faults.faulted")
+         (c "measure.faults.retried")
+         (g "measure.faults.backoff_ms")
+         (c "measure.faults.recovered")
+         (c "measure.faults.quarantined"));
     Fmt.pr "best latency: %.5f ms (after %d measurements)@." r.Tuner.best_latency
       r.Tuner.spent;
     Fmt.pr "out layout  : %a@." Layout.pp r.Tuner.best_choice.Propagate.out_layout;
@@ -264,7 +311,7 @@ let tune_op_cmd =
       $ batch_arg $ channels_arg $ out_channels_arg $ spatial_arg $ kernel_arg
       $ stride_arg $ system_arg $ fault_rate_arg $ fault_seed_arg
       $ retries_arg $ watchdog_arg $ checkpoint_arg $ resume_arg $ fast_arg
-      $ warm_start_arg)
+      $ warm_start_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* tune-model                                                         *)
@@ -291,8 +338,9 @@ let gsystem_arg =
 
 let tune_model_cmd =
   let run machine budget seed jobs model batch system fault_rate fault_seed
-      retries fast warm_start =
+      retries fast warm_start trace metrics =
     setup_logs ();
+    setup_obs ~trace ~metrics;
     let jobs = resolve_jobs jobs in
     let faults = faults_of ~rate:fault_rate ~seed:fault_seed in
     let spec =
@@ -323,7 +371,7 @@ let tune_model_cmd =
     Term.(
       const run $ machine_arg $ budget_arg $ seed_arg $ jobs_arg $ model_arg
       $ batch_arg $ gsystem_arg $ fault_rate_arg $ fault_seed_arg
-      $ retries_arg $ fast_arg $ warm_start_arg)
+      $ retries_arg $ fast_arg $ warm_start_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* show-op                                                            *)
@@ -375,9 +423,97 @@ let show_op_cmd =
       $ out_channels_arg $ spatial_arg $ kernel_arg $ stride_arg
       $ layout_preset_arg $ fast_arg)
 
+(* ------------------------------------------------------------------ *)
+(* obs-validate                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Validate observability artifacts: trace files must parse line by line
+   and satisfy the sink invariants (seq 0,1,2,..., monotone timestamps,
+   well-nested spans); metrics files must parse as JSON with the
+   versioned {"version":1,"metrics":[...]} shape. *)
+
+let validate_metrics_file path : (int, string) result =
+  let ic = open_in path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Json.parse content with
+  | Error msg -> Error ("malformed JSON: " ^ msg)
+  | Ok j -> (
+      match Option.bind (Json.member "version" j) Json.to_int_opt with
+      | Some 1 -> (
+          match Option.bind (Json.member "metrics" j) Json.to_list_opt with
+          | Some ms ->
+              let bad =
+                List.filter
+                  (fun m ->
+                    Option.bind (Json.member "name" m) Json.to_string_opt
+                      = None
+                    || Option.bind (Json.member "kind" m) Json.to_string_opt
+                       = None)
+                  ms
+              in
+              if bad = [] then Ok (List.length ms)
+              else Error "metric entries missing \"name\"/\"kind\" fields"
+          | None -> Error "missing \"metrics\" array")
+      | Some v -> Error (Printf.sprintf "unsupported version %d" v)
+      | None -> Error "missing \"version\" field")
+
+let obs_validate_cmd =
+  let trace_file_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE" ~doc:"JSONL trace file to validate.")
+  in
+  let metrics_file_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE" ~doc:"Metrics JSON file to validate.")
+  in
+  let run trace metrics =
+    if trace = None && metrics = None then begin
+      Fmt.epr "obs-validate: pass --trace and/or --metrics@.";
+      exit 2
+    end;
+    let ok = ref true in
+    (match trace with
+    | None -> ()
+    | Some path -> (
+        match Tracecheck.parse_file path with
+        | Error msg ->
+            ok := false;
+            Fmt.epr "trace %s: %s@." path msg
+        | Ok records -> (
+            match Tracecheck.validate records with
+            | Error msg ->
+                ok := false;
+                Fmt.epr "trace %s: %s@." path msg
+            | Ok () ->
+                Fmt.pr "trace %s: OK (%d records)@." path
+                  (List.length records))));
+    (match metrics with
+    | None -> ()
+    | Some path -> (
+        match validate_metrics_file path with
+        | Error msg ->
+            ok := false;
+            Fmt.epr "metrics %s: %s@." path msg
+        | Ok n -> Fmt.pr "metrics %s: OK (%d metrics)@." path n));
+    if not !ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "obs-validate"
+       ~doc:"Validate trace (JSONL) and metrics (JSON) files.")
+    Term.(const run $ trace_file_arg $ metrics_file_arg)
+
 let () =
   let info =
     Cmd.info "alt" ~version:Alt.version
       ~doc:"ALT: joint data layout and loop auto-tuning (EuroSys'23 reproduction)."
   in
-  exit (Cmd.eval (Cmd.group info [ tune_op_cmd; tune_model_cmd; show_op_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ tune_op_cmd; tune_model_cmd; show_op_cmd; obs_validate_cmd ]))

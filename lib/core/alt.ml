@@ -37,6 +37,11 @@ module Runtime = Alt_machine.Runtime
 module Pool = Alt_parallel.Pool
 module Fault = Alt_faults.Fault
 
+module Json = Alt_obs.Json
+module Metrics = Alt_obs.Metrics
+module Trace = Alt_obs.Trace
+module Tracecheck = Alt_obs.Tracecheck
+
 (* --- learning components --- *)
 module Features = Alt_costmodel.Features
 module Gbdt = Alt_costmodel.Gbdt

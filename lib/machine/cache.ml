@@ -177,3 +177,18 @@ let prefetch t addr =
       true
 
 let line_bytes t = t.cfg.line_bytes
+
+(* Accumulate this cache's live counters into the global metrics registry
+   under [prefix] (e.g. "sim.l1").  Gated: a no-op unless metrics
+   collection is enabled, so per-simulation callers pay one flag check at
+   the defaults.  Caches are per-simulation instances, so the registry
+   counters are running totals across all simulations of the process. *)
+let publish_obs ~prefix t =
+  if Alt_obs.Metrics.enabled () then begin
+    let c name v = Alt_obs.Metrics.add (Alt_obs.Metrics.counter (prefix ^ name)) v in
+    c ".accesses" t.st.accesses;
+    c ".hits" t.st.hits;
+    c ".misses" t.st.misses;
+    c ".prefetch_installs" t.st.prefetch_installs;
+    c ".prefetch_hits" t.st.prefetch_hits
+  end

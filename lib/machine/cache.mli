@@ -74,3 +74,9 @@ val prefetch : t -> int -> bool
     installed. *)
 
 val line_bytes : t -> int
+
+val publish_obs : prefix:string -> t -> unit
+(** Accumulate this cache's {!stats} into the global metrics registry as
+    counters [prefix ^ ".accesses"], [".hits"], [".misses"],
+    [".prefetch_installs"], [".prefetch_hits"].  No-op unless metrics
+    collection is enabled. *)

@@ -1050,6 +1050,30 @@ let log2_exact n =
   let rec go k = if 1 lsl k = n then k else go (k + 1) in
   go 0
 
+(* Observability (DESIGN.md §11).  Everything here is gated on the
+   metrics/trace enabled flags and sits strictly outside the compiled
+   runner, so the simulation inner loops are untouched and the disabled
+   path costs two flag checks per [run] (the ≤2% overhead budget of
+   [make bench-profiler] is really ~0%).  Counters only — safe to bump
+   from pool worker domains, where [run] executes under the tuner. *)
+let m_runs = Alt_obs.Metrics.counter "profiler.runs"
+let m_sampled = Alt_obs.Metrics.counter "profiler.sampled_runs"
+let m_fast_runs = Alt_obs.Metrics.counter "profiler.fast_loop_runs"
+let m_scalar_runs = Alt_obs.Metrics.counter "profiler.scalar_loop_runs"
+let m_fast_groups = Alt_obs.Metrics.counter "profiler.fast_groups"
+let m_scalar_groups = Alt_obs.Metrics.counter "profiler.scalar_groups"
+
+let publish_run ctx ~(es0 : engine_stats) ~sampled =
+  Alt_obs.Metrics.incr m_runs;
+  if sampled then Alt_obs.Metrics.incr m_sampled;
+  let es = ctx.es in
+  Alt_obs.Metrics.add m_fast_runs (es.fast_runs - es0.fast_runs);
+  Alt_obs.Metrics.add m_scalar_runs (es.scalar_runs - es0.scalar_runs);
+  Alt_obs.Metrics.add m_fast_groups (es.fast_groups - es0.fast_groups);
+  Alt_obs.Metrics.add m_scalar_groups (es.scalar_groups - es0.scalar_groups);
+  Cache.publish_obs ~prefix:"sim.l1" ctx.l1;
+  Cache.publish_obs ~prefix:"sim.l2" ctx.l2
+
 let run ?(machine = Machine.intel_cpu) ?max_points ?fast ?engine
     (p : Program.t) ~(bufs : float array array) : result =
   let fast = match fast with Some f -> f | None -> fast_sim_enabled () in
@@ -1114,7 +1138,27 @@ let run ?(machine = Machine.intel_cpu) ?max_points ?fast ?engine
     bufs;
   ctx.env <- Array.make (max 1 vm.next) 0;
   ctx.bases <- bases;
-  runner ();
+  (* engine-stats snapshot for delta publication; [es] itself stands in
+     when metrics are off so the disabled path allocates nothing *)
+  let es0 =
+    if Alt_obs.Metrics.enabled () then
+      { fast_groups = es.fast_groups; scalar_groups = es.scalar_groups;
+        fast_runs = es.fast_runs; scalar_runs = es.scalar_runs }
+    else es
+  in
+  (* the span wraps the whole interpretation; attrs are only built when a
+     trace sink is installed, so the default path allocates nothing *)
+  if Alt_obs.Trace.enabled () then
+    Alt_obs.Trace.with_span "profiler.run"
+      ~attrs:
+        [
+          ("machine", Alt_obs.Json.String machine.Machine.name);
+          ("points", Alt_obs.Json.Int total);
+          ("sampled", Alt_obs.Json.Bool (ratio < 1.0));
+        ]
+      runner
+  else runner ();
+  if Alt_obs.Metrics.enabled () then publish_run ctx ~es0 ~sampled:(ratio < 1.0);
   c.insts <- c.insts *. scale;
   c.loads <- c.loads *. scale;
   c.stores <- c.stores *. scale;

@@ -1,0 +1,264 @@
+(* Minimal JSON values: just enough for the observability subsystem to
+   render metric snapshots and trace records, and to parse them back in
+   validators and tests.  No external dependency (yojson is not in the
+   build environment); the grammar is standard JSON with two deliberate
+   restrictions — numbers are OCaml ints or floats, and non-finite floats
+   render as [null] (JSON has no representation for them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let escape_to buf s =
+  Stdlib.Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Stdlib.Buffer.add_string buf "\\\""
+      | '\\' -> Stdlib.Buffer.add_string buf "\\\\"
+      | '\n' -> Stdlib.Buffer.add_string buf "\\n"
+      | '\r' -> Stdlib.Buffer.add_string buf "\\r"
+      | '\t' -> Stdlib.Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Stdlib.Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Stdlib.Buffer.add_char buf c)
+    s;
+  Stdlib.Buffer.add_char buf '"'
+
+(* Floats render via the shortest-exact [%.17g]-style fallback chain:
+   prefer the shortest representation that round-trips, so whole numbers
+   like 2.0 stay readable ("2.0", not "2.0000000000000000e+00"). *)
+let float_repr f =
+  let s = Printf.sprintf "%.15g" f in
+  let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+  (* ensure the token re-parses as a float, not an int *)
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E' || c = 'n') s then s
+  else s ^ ".0"
+
+let rec render buf (v : t) =
+  match v with
+  | Null -> Stdlib.Buffer.add_string buf "null"
+  | Bool b -> Stdlib.Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Stdlib.Buffer.add_string buf (string_of_int n)
+  | Float f ->
+      if Float.is_finite f then Stdlib.Buffer.add_string buf (float_repr f)
+      else Stdlib.Buffer.add_string buf "null"
+  | String s -> escape_to buf s
+  | List l ->
+      Stdlib.Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Stdlib.Buffer.add_char buf ',';
+          render buf x)
+        l;
+      Stdlib.Buffer.add_char buf ']'
+  | Obj fields ->
+      Stdlib.Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Stdlib.Buffer.add_char buf ',';
+          escape_to buf k;
+          Stdlib.Buffer.add_char buf ':';
+          render buf x)
+        fields;
+      Stdlib.Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Stdlib.Buffer.create 256 in
+  render buf v;
+  Stdlib.Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let fail c msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg c.pos))
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> fail c (Printf.sprintf "expected %c" ch)
+
+let literal c word v =
+  let n = String.length word in
+  if
+    c.pos + n <= String.length c.src
+    && String.sub c.src c.pos n = word
+  then begin
+    c.pos <- c.pos + n;
+    v
+  end
+  else fail c (Printf.sprintf "expected %s" word)
+
+let parse_string_token c =
+  expect c '"';
+  let buf = Stdlib.Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some '"' -> advance c; Stdlib.Buffer.add_char buf '"'; go ()
+        | Some '\\' -> advance c; Stdlib.Buffer.add_char buf '\\'; go ()
+        | Some '/' -> advance c; Stdlib.Buffer.add_char buf '/'; go ()
+        | Some 'n' -> advance c; Stdlib.Buffer.add_char buf '\n'; go ()
+        | Some 'r' -> advance c; Stdlib.Buffer.add_char buf '\r'; go ()
+        | Some 't' -> advance c; Stdlib.Buffer.add_char buf '\t'; go ()
+        | Some 'b' -> advance c; Stdlib.Buffer.add_char buf '\b'; go ()
+        | Some 'f' -> advance c; Stdlib.Buffer.add_char buf '\012'; go ()
+        | Some 'u' ->
+            advance c;
+            if c.pos + 4 > String.length c.src then fail c "bad \\u escape";
+            let hex = String.sub c.src c.pos 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with Failure _ -> fail c "bad \\u escape"
+            in
+            c.pos <- c.pos + 4;
+            (* ASCII-only escapes are what our own emitter produces *)
+            if code < 0x80 then Stdlib.Buffer.add_char buf (Char.chr code)
+            else Stdlib.Buffer.add_string buf (Printf.sprintf "\\u%04x" code);
+            go ()
+        | _ -> fail c "bad escape")
+    | Some ch ->
+        advance c;
+        Stdlib.Buffer.add_char buf ch;
+        go ()
+  in
+  go ();
+  Stdlib.Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    (ch >= '0' && ch <= '9')
+    || ch = '-' || ch = '+' || ch = '.' || ch = 'e' || ch = 'E'
+  in
+  let rec go () =
+    match peek c with Some ch when is_num_char ch -> advance c; go () | _ -> ()
+  in
+  go ();
+  let tok = String.sub c.src start (c.pos - start) in
+  if tok = "" then fail c "expected number";
+  let is_float =
+    String.exists (fun ch -> ch = '.' || ch = 'e' || ch = 'E') tok
+  in
+  if is_float then
+    match float_of_string_opt tok with
+    | Some f -> Float f
+    | None -> fail c "bad float"
+  else
+    match int_of_string_opt tok with
+    | Some n -> Int n
+    | None -> (
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> fail c "bad number")
+
+let rec parse_value c : t =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '"' -> String (parse_string_token c)
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws c;
+          let k = parse_string_token c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          fields := (k, v) :: !fields;
+          skip_ws c;
+          match peek c with
+          | Some ',' -> advance c; members ()
+          | Some '}' -> advance c
+          | _ -> fail c "expected , or }"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value c in
+          items := v :: !items;
+          skip_ws c;
+          match peek c with
+          | Some ',' -> advance c; elements ()
+          | Some ']' -> advance c
+          | _ -> fail c "expected , or ]"
+        in
+        elements ();
+        List (List.rev !items)
+      end
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some _ -> parse_number c
+
+let parse (s : string) : (t, string) result =
+  let c = { src = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+      skip_ws c;
+      if c.pos < String.length s then
+        Error (Printf.sprintf "trailing garbage at offset %d" c.pos)
+      else Ok v
+  | exception Parse_error msg -> Error msg
+
+let parse_exn s =
+  match parse s with Ok v -> v | Error msg -> failwith ("Json.parse: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let to_int_opt = function Int n -> Some n | _ -> None
+let to_float_opt = function Float f -> Some f | Int n -> Some (float_of_int n) | _ -> None
+let to_string_opt = function String s -> Some s | _ -> None
+let to_bool_opt = function Bool b -> Some b | _ -> None
+let to_list_opt = function List l -> Some l | _ -> None

@@ -1,0 +1,35 @@
+(** Minimal JSON values for the observability subsystem (DESIGN.md §11):
+    rendering metric snapshots and trace records, and parsing them back
+    in validators and tests.  Standard JSON, with numbers split into
+    OCaml ints and floats; non-finite floats render as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  Object field order is preserved;
+    floats use the shortest representation that round-trips. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON value; [Error] carries a message with the offending
+    offset.  Trailing non-whitespace is an error. *)
+
+val parse_exn : string -> t
+(** {!parse}, raising [Failure] on malformed input. *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] on missing fields and non-objects. *)
+
+val to_int_opt : t -> int option
+val to_float_opt : t -> float option
+(** Accepts both [Float] and [Int] (JSON does not distinguish). *)
+
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option
+val to_list_opt : t -> t list option

@@ -37,26 +37,52 @@ let default_jobs () = Domain.recommended_domain_count ()
 
 let check_not_nested () = if Domain.DLS.get in_task then raise Nested_pool
 
+(* Batch/task counters (gated: no-ops unless metrics collection is on).
+   Only ever bumped on the calling domain, after a batch has joined, so
+   their totals are independent of --jobs and of execution order. *)
+let m_batches = Alt_obs.Metrics.counter "pool.batches"
+let m_submitted = Alt_obs.Metrics.counter "pool.tasks.submitted"
+let m_completed = Alt_obs.Metrics.counter "pool.tasks.completed"
+let m_failed = Alt_obs.Metrics.counter "pool.tasks.failed"
+
 type 'b slot = Done of 'b | Failed of exn * Printexc.raw_backtrace
 
 (* Run one task with the nesting flag set, capturing any exception
-   together with its backtrace. *)
+   together with its backtrace.  Trace records emitted by the task are
+   captured into a per-task buffer (instead of the sink) so the caller
+   can flush them in submission order; the buffer is [None] while
+   tracing is disabled and the capture degenerates to two no-op calls. *)
 let run_task f x =
+  let buf = Alt_obs.Trace.task_begin () in
   Domain.DLS.set in_task true;
   let r = try Done (f x) with e -> Failed (e, Printexc.get_raw_backtrace ()) in
   Domain.DLS.set in_task false;
-  r
+  Alt_obs.Trace.task_end buf;
+  (r, buf)
+
+let count_slots slots =
+  Alt_obs.Metrics.add m_batches 1;
+  Alt_obs.Metrics.add m_submitted (Array.length slots);
+  Array.iter
+    (function
+      | Done _ -> Alt_obs.Metrics.incr m_completed
+      | Failed _ -> Alt_obs.Metrics.incr m_failed)
+    slots
 
 (* Drain the whole batch into submission-indexed slots.  Every task runs
    (even after another one failed), and all domains are joined before
-   returning. *)
+   returning.  Trace buffers are flushed here, in submission order, which
+   is what makes the trace stream independent of --jobs. *)
 let run_slots t f (xs : 'a array) : 'b slot array =
   check_not_nested ();
   let n = Array.length xs in
   let slots = Array.make n (Failed (Never_ran, Printexc.get_callstack 0)) in
+  let bufs = Array.make n None in
   if t.jobs = 1 || n <= 1 then
     for i = 0 to n - 1 do
-      slots.(i) <- run_task f xs.(i)
+      let r, buf = run_task f xs.(i) in
+      slots.(i) <- r;
+      bufs.(i) <- buf
     done
   else begin
     let cursor = Atomic.make 0 in
@@ -64,7 +90,9 @@ let run_slots t f (xs : 'a array) : 'b slot array =
       let rec drain () =
         let i = Atomic.fetch_and_add cursor 1 in
         if i < n then begin
-          slots.(i) <- run_task f xs.(i);
+          let r, buf = run_task f xs.(i) in
+          slots.(i) <- r;
+          bufs.(i) <- buf;
           drain ()
         end
       in
@@ -76,6 +104,8 @@ let run_slots t f (xs : 'a array) : 'b slot array =
     worker ();
     Array.iter Domain.join helpers
   end;
+  Array.iter Alt_obs.Trace.flush_buffer bufs;
+  count_slots slots;
   slots
 
 let map_array_result t f (xs : 'a array) : ('b, exn) result array =
@@ -94,11 +124,26 @@ let map_array t (f : 'a -> 'b) (xs : 'a array) : 'b array =
        as Task_failed *)
     check_not_nested ();
     let out = ref [] in
-    for i = 0 to n - 1 do
-      match run_task f xs.(i) with
-      | Done r -> out := r :: !out
-      | Failed (e, bt) -> Printexc.raise_with_backtrace (Task_failed (i, e)) bt
-    done;
+    let i = ref 0 in
+    (* count tasks even when an early failure aborts the batch: exactly
+       the tasks that actually ran are submitted/completed/failed *)
+    Fun.protect
+      ~finally:(fun () ->
+        Alt_obs.Metrics.add m_batches 1;
+        Alt_obs.Metrics.add m_submitted !i)
+      (fun () ->
+        while !i < n do
+          let r, buf = run_task f xs.(!i) in
+          Alt_obs.Trace.flush_buffer buf;
+          incr i;
+          match r with
+          | Done r ->
+              Alt_obs.Metrics.incr m_completed;
+              out := r :: !out
+          | Failed (e, bt) ->
+              Alt_obs.Metrics.incr m_failed;
+              Printexc.raise_with_backtrace (Task_failed (!i - 1, e)) bt
+        done);
     Array.of_list (List.rev !out)
   end
   else begin

@@ -22,6 +22,7 @@ type t = {
 }
 
 let save ~path (t : t) =
+  Alt_obs.Trace.with_span "checkpoint.save" @@ fun () ->
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   (try
@@ -46,11 +47,23 @@ let load ~path : t =
           failwith (path ^ ": not an ALT checkpoint (file too short)")
       in
       if m <> magic then failwith (path ^ ": not an ALT checkpoint");
-      let v : int = Marshal.from_channel ic in
+      (* a crash mid-write leaves either no file or the previous complete
+         one (save is atomic), but files can still arrive truncated or
+         corrupted from elsewhere — turn Marshal's unhelpful exceptions
+         into the documented Failure with the path *)
+      let marshal_part : 'a. string -> 'a =
+       fun what ->
+        try Marshal.from_channel ic
+        with End_of_file | Failure _ ->
+          failwith
+            (Printf.sprintf "%s: truncated or corrupt checkpoint (bad %s)"
+               path what)
+      in
+      let v : int = marshal_part "version" in
       if v <> version then
         failwith
           (Printf.sprintf "%s: checkpoint format version %d, expected %d" path
              v version);
-      (Marshal.from_channel ic : t))
+      (marshal_part "record" : t))
 
 let load_opt ~path = if Sys.file_exists path then Some (load ~path) else None

@@ -27,11 +27,15 @@ type t = {
 
 val save : path:string -> t -> unit
 (** Atomic write (temp file + rename): a crash mid-save never corrupts an
-    existing checkpoint. *)
+    existing checkpoint.  Emits a ["checkpoint.save"] trace span when
+    tracing is enabled. *)
 
 val load : path:string -> t
-(** Raises [Failure] on a missing/foreign file or a format-version
-    mismatch. *)
+(** Raises [Failure] with a message naming [path] on every malformed
+    input: a file too short to hold the magic, a foreign file (magic
+    mismatch), a format-version mismatch, and a truncated or corrupt
+    version/record section (Marshal errors are translated; they never
+    escape raw). *)
 
 val load_opt : path:string -> t option
 (** [None] when [path] does not exist; otherwise {!load}. *)

@@ -81,6 +81,7 @@ type tuned_graph = {
 let tune_graph ?(seed = 0) ?(jobs = 1) ?(levels = 1) ?(max_points = 30_000)
     ?faults ?retries ?fast ?memo ?warm_start ~(system : gsystem)
     ~(machine : Machine.t) ~(budget : int) (g : Graph.t) : tuned_graph =
+  Alt_obs.Trace.with_span "graph_tuner.tune_graph" @@ fun () ->
   let complex = Graph.complex_nodes g in
   (* deduplicate by signature *)
   let uniq : (string, Graph.node * Graph.node list) Hashtbl.t =
@@ -115,7 +116,7 @@ let tune_graph ?(seed = 0) ?(jobs = 1) ?(levels = 1) ?(max_points = 30_000)
         Measure.make_task ~fused:fused_ops ~max_points ?faults ?retries
           ?fast ?memo ~machine node.Graph.op
       in
-      let r =
+      let tune_task () =
         match system with
         | Gvendor ->
             Tuner.tune_op ~seed ~jobs ~system:Tuner.Vendor
@@ -150,6 +151,16 @@ let tune_graph ?(seed = 0) ?(jobs = 1) ?(levels = 1) ?(max_points = 30_000)
               ~loop_budget:(per_task_budget * 6 / 10)
               task
       in
+      let r =
+        if Alt_obs.Trace.enabled () then
+          Alt_obs.Trace.with_span "graph_tuner.task"
+            ~attrs:[ ("signature", Alt_obs.Json.String s) ]
+            tune_task
+        else tune_task ()
+      in
+      (* fold the finished task's stats into the metrics registry; the CLI
+         and the metrics file then report totals across all graph tasks *)
+      Measure.publish_obs task;
       Hashtbl.replace tuned s r)
     sigs;
   (* assemble choices and schedules for every complex node *)

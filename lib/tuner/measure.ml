@@ -448,8 +448,8 @@ let program_points (p : Program.t) : float = stmt_points p.Program.body
    attempt). *)
 type sim_out = S_ok of Profiler.result | S_timeout | S_fail of string
 
-let run_attempt (t : task) ~attempt ((key, prog) : string * Program.t) :
-    sim_out =
+let run_attempt_inner (t : task) ~attempt
+    ((key, prog) : string * Program.t) : sim_out =
   match Fault.decide t.faults ~key with
   | Some Fault.Crash -> raise (Fault.Injected "injected simulation crash")
   | Some Fault.Timeout ->
@@ -463,10 +463,34 @@ let run_attempt (t : task) ~attempt ((key, prog) : string * Program.t) :
       | Some cap when program_points prog > float_of_int cap -> S_timeout
       | _ -> S_ok (simulate t prog))
 
+(* Traced wrapper: one span per simulation attempt.  Runs on pool worker
+   domains, where the span lands in the worker's capture buffer and is
+   flushed by the pool in submission order; an injected crash raises
+   through [with_span], which still closes the span.  The disabled path
+   is a single flag check — the attrs list is never built. *)
+let run_attempt (t : task) ~attempt ((key, _) as item : string * Program.t) :
+    sim_out =
+  if Alt_obs.Trace.enabled () then
+    Alt_obs.Trace.with_span "measure.sim"
+      ~attrs:
+        [
+          ("key", Alt_obs.Json.String key);
+          ("attempt", Alt_obs.Json.Int attempt);
+        ]
+      (fun () -> run_attempt_inner t ~attempt item)
+  else run_attempt_inner t ~attempt item
+
 let quarantine_reason = function
   | Timeout -> "timeout"
   | Sim_error msg -> msg
   | Ok _ | Lower_error | Quarantined -> "failure"
+
+(* Gated latency histogram: observed on the calling domain during the
+   submission-order replay (histograms are not domain-safe), log-spaced
+   buckets in milliseconds. *)
+let h_latency =
+  Alt_obs.Metrics.histogram "measure.latency_ms"
+    ~buckets:[ 0.001; 0.01; 0.1; 1.0; 10.0; 100.0; 1000.0 ]
 
 let measure_programs ?pool ?(on_result = fun _ _ -> ()) (t : task)
     (progs : Program.t option array) : outcome array =
@@ -541,7 +565,15 @@ let measure_programs ?pool ?(on_result = fun _ _ -> ()) (t : task)
           items outs;
         attempt_round (attempt + 1) (List.rev !retry)
   in
-  attempt_round 0 pending;
+  (if Alt_obs.Trace.enabled () then
+     Alt_obs.Trace.with_span "measure.batch"
+       ~attrs:
+         [
+           ("n", Alt_obs.Json.Int n);
+           ("pending", Alt_obs.Json.Int (List.length pending));
+         ]
+       (fun () -> attempt_round 0 pending)
+   else attempt_round 0 pending);
   (* replay in submission order: charge budget, account hits/misses, fill
      the cache and the quarantine table, and hand each outcome to the
      caller's callback while the task state reflects exactly the serial
@@ -573,6 +605,9 @@ let measure_programs ?pool ?(on_result = fun _ _ -> ()) (t : task)
                       t.fstats.quarantined <- t.fstats.quarantined + 1;
                       o)
           in
+          (match o with
+          | Ok r -> Alt_obs.Metrics.observe h_latency r.Profiler.latency_ms
+          | _ -> ());
           results.(i) <- o);
       on_result i results.(i))
     keys;
@@ -617,6 +652,46 @@ let snapshot (t : task) =
 let restore (t : task) ~cache ~quarantine =
   List.iter (fun (k, r) -> Hashtbl.replace t.cache k r) cache;
   List.iter (fun (k, m) -> Hashtbl.replace t.quarantine k m) quarantine
+
+(* ------------------------------------------------------------------ *)
+(* Observability publication                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Registry handles for the per-task stats structs.  The structs stay the
+   sole live source of truth (no double counting on the hot path); a task
+   is published into the registry once, at the end of its run, via the
+   unconditional raw adds — so the CLI can print its human-readable
+   summary from the registry whether or not metrics collection is on,
+   keeping the default output byte-identical. *)
+let m_spent = Alt_obs.Metrics.counter "measure.budget_spent"
+let m_hits = Alt_obs.Metrics.counter "measure.cache.hits"
+let m_misses = Alt_obs.Metrics.counter "measure.cache.misses"
+let m_prog_hits = Alt_obs.Metrics.counter "measure.lower.prog_hits"
+let m_prog_misses = Alt_obs.Metrics.counter "measure.lower.prog_misses"
+let m_feat_hits = Alt_obs.Metrics.counter "measure.lower.feat_hits"
+let m_feat_misses = Alt_obs.Metrics.counter "measure.lower.feat_misses"
+let m_faulted = Alt_obs.Metrics.counter "measure.faults.faulted"
+let m_retried = Alt_obs.Metrics.counter "measure.faults.retried"
+let m_recovered = Alt_obs.Metrics.counter "measure.faults.recovered"
+let m_quarantined = Alt_obs.Metrics.counter "measure.faults.quarantined"
+let g_backoff = Alt_obs.Metrics.gauge "measure.faults.backoff_ms"
+
+let publish_obs (t : task) =
+  Alt_obs.Metrics.add_raw m_spent t.spent;
+  Alt_obs.Metrics.add_raw m_hits t.stats.hits;
+  Alt_obs.Metrics.add_raw m_misses t.stats.misses;
+  Alt_obs.Metrics.add_raw m_prog_hits t.lstats.prog_hits;
+  Alt_obs.Metrics.add_raw m_prog_misses t.lstats.prog_misses;
+  Alt_obs.Metrics.add_raw m_feat_hits t.lstats.feat_hits;
+  Alt_obs.Metrics.add_raw m_feat_misses t.lstats.feat_misses;
+  Alt_obs.Metrics.add_raw m_faulted t.fstats.faulted;
+  Alt_obs.Metrics.add_raw m_retried t.fstats.retried;
+  Alt_obs.Metrics.add_raw m_recovered t.fstats.recovered;
+  Alt_obs.Metrics.add_raw m_quarantined t.fstats.quarantined;
+  let prev =
+    match Alt_obs.Metrics.gauge_value g_backoff with Some v -> v | None -> 0.0
+  in
+  Alt_obs.Metrics.set_raw g_backoff (prev +. t.fstats.backoff_ms)
 
 (* Everything that shapes a tuning trajectory besides the tuner's own
    parameters: operator, fused chain, machine, budgets of one simulation,

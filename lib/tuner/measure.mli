@@ -170,6 +170,14 @@ val penalty_latency_ms : float
 
 val pp_outcome : outcome Fmt.t
 
+val publish_obs : task -> unit
+(** Publish this task's per-task stats structs ({!cache_stats},
+    {!lower_stats}, {!fault_stats}, budget spent) into the global
+    {!Alt_obs.Metrics} registry as [measure.*] counters, unconditionally
+    (bypassing the enabled gate).  Call once per task at the end of a
+    run; the structs remain the live source of truth during the run, so
+    nothing is double-counted. *)
+
 (** {1 Checkpoint support} *)
 
 val snapshot :
