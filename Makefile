@@ -1,6 +1,7 @@
 # Tier-1 gate: everything builds, every test suite passes.
 .PHONY: all check test bench bench-profiler bench-profiler-smoke \
-	bench-tuner bench-tuner-smoke fault-smoke obs-smoke clean
+	bench-tuner bench-tuner-smoke fault-smoke obs-smoke exec-smoke \
+	bench-crossval bench-crossval-smoke clean
 
 all:
 	dune build @all
@@ -46,7 +47,29 @@ obs-smoke:
 	dune exec bin/alt_cli.exe -- obs-validate \
 	  --trace obs_smoke.trace.jsonl --metrics obs_smoke.metrics.json
 
-check: all test bench-profiler-smoke bench-tuner-smoke fault-smoke obs-smoke
+# Exec-backend gate: a tuning run measured by compiled kernels on the
+# wall clock must complete with a finite best latency and a lowerable
+# best schedule (the CLI exits non-zero otherwise).  Wall-clock numbers
+# are never asserted against absolute milliseconds here — box speed
+# varies; correctness and rank behaviour are covered by test/test_exec.ml
+# and bench-crossval, whose gates are ratio floors.
+exec-smoke:
+	dune exec bin/alt_cli.exe -- tune-op --op gmm --channels 8 \
+	  --out-channels 8 --spatial 8 --budget 16 --seed 1 \
+	  --backend exec --exec-warmup 1 --exec-repeats 3
+
+# cross-device validation: measures the layout zoo with both the
+# simulator and the exec backend, writes BENCH_crossval.json, and fails
+# if the miss-bound streaming workload's Spearman rho drops below the
+# pinned floor (ALT_BENCH_SCALE=smoke|quick|full)
+bench-crossval:
+	dune exec bench/bench_crossval.exe
+
+bench-crossval-smoke:
+	ALT_BENCH_SCALE=smoke dune exec bench/bench_crossval.exe
+
+check: all test bench-profiler-smoke bench-tuner-smoke fault-smoke \
+	obs-smoke exec-smoke bench-crossval-smoke
 
 # quick-scale regeneration of the paper's tables and figures
 bench:

@@ -145,6 +145,35 @@ let fast_arg =
            (counters are identical to the scalar interpreter either way). \
            Defaults to true unless ALT_FAST_SIM=0 is set.")
 
+let backend_arg =
+  Arg.(
+    value
+    & opt (enum [ ("sim", `Sim); ("exec", `Exec) ]) `Sim
+    & info [ "backend" ] ~docv:"DEV"
+        ~doc:
+          "Measurement device: 'sim' (the cache simulator, default) or \
+           'exec' (compile each candidate to macro-kernels and time real \
+           execution with warmup/repeat/median discipline).")
+
+let exec_warmup_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "exec-warmup" ] ~docv:"N"
+        ~doc:"Untimed warmup runs per exec-backend measurement.")
+
+let exec_repeats_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "exec-repeats" ] ~docv:"N"
+        ~doc:
+          "Timed runs per exec-backend measurement; the median is the \
+           reported latency.")
+
+let backend_of sel ~warmup ~repeats =
+  match sel with
+  | `Sim -> Runtime.Sim
+  | `Exec -> Runtime.Exec { Exec.warmup; repeats; clock = Exec.Wall }
+
 let warm_start_arg =
   Arg.(
     value & flag
@@ -235,7 +264,8 @@ let system_arg =
 let tune_op_cmd =
   let run machine budget seed jobs kind batch channels out_channels spatial
       kernel stride system fault_rate fault_seed retries watchdog checkpoint
-      resume fast warm_start trace metrics =
+      resume fast backend_sel exec_warmup exec_repeats warm_start trace
+      metrics =
     setup_logs ();
     setup_obs ~trace ~metrics;
     let jobs = resolve_jobs jobs in
@@ -243,9 +273,12 @@ let tune_op_cmd =
       make_op kind ~batch ~channels ~out_channels ~spatial ~kernel ~stride
     in
     let faults = faults_of ~rate:fault_rate ~seed:fault_seed in
+    let backend =
+      backend_of backend_sel ~warmup:exec_warmup ~repeats:exec_repeats
+    in
     let task =
       Measure.make_task ~machine ~faults ~retries ?watchdog_points:watchdog
-        ~fast op
+        ~fast ~backend op
     in
     let t0 = Unix.gettimeofday () in
     let r =
@@ -265,6 +298,11 @@ let tune_op_cmd =
       | None -> 0.0
     in
     Fmt.pr "system      : %s@." (Tuner.system_name system);
+    (match backend with
+    | Runtime.Sim -> ()
+    | Runtime.Exec _ ->
+        Fmt.pr "backend     : %s (wall-clock, serial device)@."
+          (Runtime.backend_tag backend));
     Fmt.pr "machine     : %a@." Machine.pp machine;
     Fmt.pr "jobs        : %d (%.2fs wall; cache %d hits / %d misses)@." jobs
       elapsed
@@ -311,7 +349,8 @@ let tune_op_cmd =
       $ batch_arg $ channels_arg $ out_channels_arg $ spatial_arg $ kernel_arg
       $ stride_arg $ system_arg $ fault_rate_arg $ fault_seed_arg
       $ retries_arg $ watchdog_arg $ checkpoint_arg $ resume_arg $ fast_arg
-      $ warm_start_arg $ trace_arg $ metrics_arg)
+      $ backend_arg $ exec_warmup_arg $ exec_repeats_arg $ warm_start_arg
+      $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* tune-model                                                         *)
@@ -338,11 +377,15 @@ let gsystem_arg =
 
 let tune_model_cmd =
   let run machine budget seed jobs model batch system fault_rate fault_seed
-      retries fast warm_start trace metrics =
+      retries fast backend_sel exec_warmup exec_repeats warm_start trace
+      metrics =
     setup_logs ();
     setup_obs ~trace ~metrics;
     let jobs = resolve_jobs jobs in
     let faults = faults_of ~rate:fault_rate ~seed:fault_seed in
+    let backend =
+      backend_of backend_sel ~warmup:exec_warmup ~repeats:exec_repeats
+    in
     let spec =
       match model with
       | "r18" -> Zoo.resnet18 ~batch ()
@@ -356,8 +399,8 @@ let tune_model_cmd =
       (Graph_tuner.gsystem_name system)
       Machine.pp machine budget;
     let tg =
-      Graph_tuner.tune_graph ~seed ~jobs ~faults ~retries ~fast ~warm_start
-        ~system ~machine ~budget spec.Zoo.graph
+      Graph_tuner.tune_graph ~seed ~jobs ~faults ~retries ~fast ~backend
+        ~warm_start ~system ~machine ~budget spec.Zoo.graph
     in
     let r = Graph_tuner.run tg ~machine in
     Fmt.pr "end-to-end latency: %.4f ms@." r.Compile.latency_ms;
@@ -371,7 +414,8 @@ let tune_model_cmd =
     Term.(
       const run $ machine_arg $ budget_arg $ seed_arg $ jobs_arg $ model_arg
       $ batch_arg $ gsystem_arg $ fault_rate_arg $ fault_seed_arg
-      $ retries_arg $ fast_arg $ warm_start_arg $ trace_arg $ metrics_arg)
+      $ retries_arg $ fast_arg $ backend_arg $ exec_warmup_arg
+      $ exec_repeats_arg $ warm_start_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* show-op                                                            *)

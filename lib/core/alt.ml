@@ -33,6 +33,11 @@ module Cache = Alt_machine.Cache
 module Profiler = Alt_machine.Profiler
 module Runtime = Alt_machine.Runtime
 
+(* exec backend: compiled macro-kernels + wall-clock measurement *)
+module Kernel = Alt_exec.Kernel
+module Exec = Alt_exec.Exec
+module Rankcorr = Alt_exec.Rankcorr
+
 (* --- measurement parallelism and fault tolerance --- *)
 module Pool = Alt_parallel.Pool
 module Fault = Alt_faults.Fault
@@ -68,11 +73,11 @@ module Zoo = Alt_models.Zoo
     round journal (see DESIGN.md §8). *)
 let tune_operator ?(machine = Machine.intel_cpu) ?(budget = 200)
     ?(max_points = 40_000) ?seed ?jobs ?levels ?faults ?retries
-    ?watchdog_points ?warm_start ?checkpoint ?resume (op : Opdef.t) :
+    ?watchdog_points ?backend ?warm_start ?checkpoint ?resume (op : Opdef.t) :
     Tuner.result =
   let task =
     Measure.make_task ~machine ~max_points ?faults ?retries ?watchdog_points
-      op
+      ?backend op
   in
   Tuner.tune_alt ?seed ?jobs ?levels ?warm_start ?checkpoint ?resume
     ~joint_budget:(budget * 3 / 10)
@@ -82,9 +87,9 @@ let tune_operator ?(machine = Machine.intel_cpu) ?(budget = 200)
 (** Tune and compile an end-to-end model. *)
 let compile_model ?(system = Graph_tuner.Galt) ?(machine = Machine.intel_cpu)
     ?(budget = 400) ?max_points ?seed ?jobs ?levels ?faults ?retries
-    ?warm_start (g : Graph.t) : Graph_tuner.tuned_graph =
+    ?backend ?warm_start (g : Graph.t) : Graph_tuner.tuned_graph =
   Graph_tuner.tune_graph ?seed ?jobs ?levels ?max_points ?faults ?retries
-    ?warm_start ~system ~machine ~budget g
+    ?backend ?warm_start ~system ~machine ~budget g
 
 (** Execute a tuned model on its machine model and report the simulated
     end-to-end latency. *)

@@ -1,0 +1,511 @@
+(* Compiled macro-kernels: the exec backend's lowering (DESIGN.md §12).
+
+   This is the value half of the fast-sim compiler in
+   lib/machine/profiler.ml with the cache model cut away: the same
+   expression compilation, the same hoisted affine bases, the same
+   multiply-accumulate specialization — but executing for wall-clock
+   time instead of feeding a simulator.  The mirroring is deliberate and
+   load-bearing: because every combine function, evaluation order and
+   accumulation chain matches the scalar interpreter operation for
+   operation, kernel outputs are bit-identical to a simulator run of the
+   same program, which is what the differential suite in
+   test/test_exec.ml pins.
+
+   Differences from the profiler's fast planner:
+
+   - any affine stride qualifies for a macro-kernel (the profiler
+     restricts streams to stride 0/1 because the cache span walk needs
+     line-crossing structure; values have no such constraint);
+   - loads under Pselect are fine (there is no access trace to keep
+     deterministic — the taken branch just reads its buffer);
+   - the multiply-accumulate scalar-accumulator loop is 4x unrolled.
+     Unrolling preserves the single sequential [acc := !acc +. m] chain,
+     so float results are unchanged — it only removes loop overhead. *)
+
+module Var = Alt_tensor.Var
+module Shape = Alt_tensor.Shape
+module Ixexpr = Alt_tensor.Ixexpr
+module Layout = Alt_tensor.Layout
+module Program = Alt_ir.Program
+module Sexpr = Alt_ir.Sexpr
+
+type stats = {
+  mutable macro_groups : int;
+  mutable generic_groups : int;
+  mutable macro_runs : int;
+  mutable generic_runs : int;
+}
+
+type t = {
+  prog : Program.t;
+  bufs : float array array;
+  run : unit -> unit;
+  stats : stats;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilation (mirrors profiler.ml)                       *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = { mutable env : int array; bufs : float array array }
+
+type varmap = { tbl : (int, int) Hashtbl.t; mutable next : int }
+
+let var_slot vm (v : Var.t) =
+  match Hashtbl.find_opt vm.tbl (Var.id v) with
+  | Some i -> i
+  | None ->
+      let i = vm.next in
+      vm.next <- i + 1;
+      Hashtbl.replace vm.tbl (Var.id v) i;
+      i
+
+let rec compile_ix vm (e : Ixexpr.t) : int array -> int =
+  match e with
+  | Ixexpr.Const n -> fun _ -> n
+  | Ixexpr.Var v ->
+      let i = var_slot vm v in
+      fun env -> env.(i)
+  | Ixexpr.Add (a, b) ->
+      let fa = compile_ix vm a and fb = compile_ix vm b in
+      fun env -> fa env + fb env
+  | Ixexpr.Sub (a, b) ->
+      let fa = compile_ix vm a and fb = compile_ix vm b in
+      fun env -> fa env - fb env
+  | Ixexpr.Mul (a, b) ->
+      let fa = compile_ix vm a and fb = compile_ix vm b in
+      fun env -> fa env * fb env
+  | Ixexpr.Div (a, b) ->
+      let fa = compile_ix vm a and fb = compile_ix vm b in
+      fun env -> Ixexpr.fdiv (fa env) (fb env)
+  | Ixexpr.Mod (a, b) ->
+      let fa = compile_ix vm a and fb = compile_ix vm b in
+      fun env -> Ixexpr.fmod (fa env) (fb env)
+  | Ixexpr.Min (a, b) ->
+      let fa = compile_ix vm a and fb = compile_ix vm b in
+      fun env -> min (fa env) (fb env)
+  | Ixexpr.Max (a, b) ->
+      let fa = compile_ix vm a and fb = compile_ix vm b in
+      fun env -> max (fa env) (fb env)
+
+let rec compile_cond vm (c : Sexpr.cond) : int array -> bool =
+  match c with
+  | Sexpr.Cmp (op, a, b) -> (
+      let fa = compile_ix vm a and fb = compile_ix vm b in
+      match op with
+      | Sexpr.Clt -> fun env -> fa env < fb env
+      | Sexpr.Cle -> fun env -> fa env <= fb env
+      | Sexpr.Cgt -> fun env -> fa env > fb env
+      | Sexpr.Cge -> fun env -> fa env >= fb env
+      | Sexpr.Ceq -> fun env -> fa env = fb env)
+  | Sexpr.And (a, b) ->
+      let fa = compile_cond vm a and fb = compile_cond vm b in
+      fun env -> fa env && fb env
+  | Sexpr.Or (a, b) ->
+      let fa = compile_cond vm a and fb = compile_cond vm b in
+      fun env -> fa env || fb env
+
+let compile_offset vm (slots : Program.slot array) (a : Program.access) :
+    int array -> int =
+  let phys = Layout.physical_shape slots.(a.Program.slot).Program.layout in
+  let strides = Shape.strides phys in
+  let fs = Array.map (compile_ix vm) a.Program.idx in
+  let n = Array.length fs in
+  fun env ->
+    let off = ref 0 in
+    for i = 0 to n - 1 do
+      off := !off + (fs.(i) env * strides.(i))
+    done;
+    !off
+
+(* Element stride of loop variable [v] through the flattened offset of
+   [a]; [None] when not affine in [v]. *)
+let affine_stride (slots : Program.slot array) (a : Program.access)
+    (v : Var.t) : int option =
+  let phys = Layout.physical_shape slots.(a.Program.slot).Program.layout in
+  let strides = Shape.strides phys in
+  let total = ref (Some 0) in
+  Array.iteri
+    (fun i e ->
+      match (!total, Ixexpr.coeff_of e v) with
+      | Some t, Some c -> total := Some (t + (c * strides.(i)))
+      | _ -> total := None)
+    a.Program.idx;
+  !total
+
+(* Plain evaluator over the loop environment; used outside macro groups.
+   Mirrors the profiler's [compile_pexpr] minus the counter effects. *)
+let rec compile_plain vm slots ctx (e : Program.pexpr) : int array -> float =
+  match e with
+  | Program.Pconst f -> fun _ -> f
+  | Program.Pload a ->
+      let off = compile_offset vm slots a in
+      let buf = ctx.bufs.(a.Program.slot) in
+      fun env -> buf.(off env)
+  | Program.Pbin (op, a, b) ->
+      let fa = compile_plain vm slots ctx a
+      and fb = compile_plain vm slots ctx b in
+      let g = Sexpr.apply_binop op in
+      fun env -> g (fa env) (fb env)
+  | Program.Pun (op, a) ->
+      let fa = compile_plain vm slots ctx a in
+      let g = Sexpr.apply_unop op in
+      fun env -> g (fa env)
+  | Program.Pselect (c, a, b) ->
+      let fc = compile_cond vm c
+      and fa = compile_plain vm slots ctx a
+      and fb = compile_plain vm slots ctx b in
+      fun env -> if fc env then fa env else fb env
+
+(* Hoisted affine load base: refreshed once per innermost-loop execution,
+   advanced by [pb_stride * x] inside. *)
+type pbase = {
+  pb_off : int array -> int;
+  pb_stride : int;
+  mutable pb_base : int;
+}
+
+(* x-indexed evaluator with every load hoisted to a pbase; structure is
+   the profiler's [compile_pure], so float results are bit-identical. *)
+let rec compile_value vm slots ctx (bases : pbase list ref)
+    (strides : Program.access -> int) (e : Program.pexpr) : int -> float =
+  match e with
+  | Program.Pconst f -> fun _ -> f
+  | Program.Pload a ->
+      let pb =
+        { pb_off = compile_offset vm slots a; pb_stride = strides a;
+          pb_base = 0 }
+      in
+      bases := pb :: !bases;
+      let buf = ctx.bufs.(a.Program.slot) in
+      fun x -> buf.(pb.pb_base + (pb.pb_stride * x))
+  | Program.Pbin (op, a, b) ->
+      let fa = compile_value vm slots ctx bases strides a
+      and fb = compile_value vm slots ctx bases strides b in
+      let g = Sexpr.apply_binop op in
+      fun x -> g (fa x) (fb x)
+  | Program.Pun (op, a) ->
+      let fa = compile_value vm slots ctx bases strides a in
+      let g = Sexpr.apply_unop op in
+      fun x -> g (fa x)
+  | Program.Pselect (c, a, b) ->
+      let fc = compile_cond vm c
+      and fa = compile_value vm slots ctx bases strides a
+      and fb = compile_value vm slots ctx bases strides b in
+      fun x -> if fc ctx.env then fa x else fb x
+
+(* ------------------------------------------------------------------ *)
+(* Macro-kernel planner                                               *)
+(* ------------------------------------------------------------------ *)
+
+type macro_leaf = {
+  ml_step : int -> unit;  (** one iteration at x (multi-leaf interleave) *)
+  ml_run : int -> unit;  (** the whole loop of n iterations *)
+}
+
+type macro_plan = {
+  mp_pbases : pbase array;
+  mp_leaves : macro_leaf array;
+}
+
+let rec all_leaves = function
+  | Program.Store _ | Program.Reduce _ -> true
+  | Program.Block l -> l <> [] && List.for_all all_leaves l
+  | Program.For _ -> false
+
+(* Try to compile the leaf-only body [b] of innermost loop [l] into a
+   macro plan: every access must be affine in the loop variable (any
+   stride).  Returns [None] — generic fallback — otherwise. *)
+let macro_plan_of vm slots ctx (l : Program.loop) (b : Program.stmt) :
+    macro_plan option =
+  let exception Fallback in
+  try
+    let rec flatten = function
+      | Program.Block lst -> List.concat_map flatten lst
+      | (Program.Store _ | Program.Reduce _) as s -> [ s ]
+      | Program.For _ -> raise Fallback
+    in
+    let stmts = flatten b in
+    if stmts = [] then raise Fallback;
+    let v = l.Program.v in
+    let stride_any a =
+      match affine_stride slots a v with
+      | Some s -> s
+      | None -> raise Fallback
+    in
+    let vslot = var_slot vm l.Program.v in
+    let pbases = ref [] in
+    let hoist a =
+      let pb =
+        { pb_off = compile_offset vm slots a; pb_stride = stride_any a;
+          pb_base = 0 }
+      in
+      pbases := pb :: !pbases;
+      pb
+    in
+    (* Whole-loop runner from a per-iteration step; the loop variable's
+       env slot tracks x for Pselect conditions. *)
+    let generic_run (step : int -> unit) n =
+      let env = ctx.env in
+      for x = 0 to n - 1 do
+        env.(vslot) <- x;
+        step x
+      done
+    in
+    let compile_leaf (s : Program.stmt) : macro_leaf =
+      match s with
+      | Program.Store (a, e) ->
+          let fe = compile_value vm slots ctx pbases stride_any e in
+          let spb = hoist a in
+          let buf = ctx.bufs.(a.Program.slot) in
+          let step x = buf.(spb.pb_base + (spb.pb_stride * x)) <- fe x in
+          let run =
+            match e with
+            | Program.Pconst cst ->
+                (* tile-init loops: one fill instead of n closure calls;
+                   stride 0 degenerates to one (idempotent) write *)
+                fun n ->
+                  if spb.pb_stride = 1 then Array.fill buf spb.pb_base n cst
+                  else buf.(spb.pb_base) <- cst
+            | _ -> generic_run step
+          in
+          { ml_step = step; ml_run = run }
+      | Program.Reduce (a, r, e) ->
+          let astride = stride_any a in
+          let apb = hoist a in
+          let buf = ctx.bufs.(a.Program.slot) in
+          let step, run =
+            match e with
+            | Program.Pbin (Sexpr.Bmul, Program.Pload la, Program.Pload lb)
+              when r = Program.Rsum ->
+                (* the multiply-accumulate kernel every conv/matmul
+                   reduction lowers to: tight array loops with
+                   loop-invariant operands hoisted when they cannot
+                   alias the accumulator, 4x unrolled in the scalar-
+                   accumulator case (single sequential chain preserved) *)
+                let pba = hoist la and pbb = hoist lb in
+                let ba = ctx.bufs.(la.Program.slot)
+                and bb = ctx.bufs.(lb.Program.slot) in
+                let sa = pba.pb_stride and sb = pbb.pb_stride in
+                let alias_a = la.Program.slot = a.Program.slot
+                and alias_b = lb.Program.slot = a.Program.slot in
+                let step x =
+                  let o = apb.pb_base + (astride * x) in
+                  buf.(o) <-
+                    buf.(o)
+                    +. (ba.(pba.pb_base + (sa * x))
+                       *. bb.(pbb.pb_base + (sb * x)))
+                in
+                let run n =
+                  let oa = pba.pb_base
+                  and ob = pbb.pb_base
+                  and oc = apb.pb_base in
+                  if astride = 0 && (not alias_a) && not alias_b then begin
+                    let acc = ref buf.(oc) in
+                    let n4 = n - (n land 3) in
+                    (if sa = 0 then begin
+                       let va = ba.(oa) in
+                       let x = ref 0 in
+                       while !x < n4 do
+                         let o = ob + (sb * !x) in
+                         acc := !acc +. (va *. bb.(o));
+                         acc := !acc +. (va *. bb.(o + sb));
+                         acc := !acc +. (va *. bb.(o + (2 * sb)));
+                         acc := !acc +. (va *. bb.(o + (3 * sb)));
+                         x := !x + 4
+                       done;
+                       for x = n4 to n - 1 do
+                         acc := !acc +. (va *. bb.(ob + (sb * x)))
+                       done
+                     end
+                     else if sb = 0 then begin
+                       let vb = bb.(ob) in
+                       let x = ref 0 in
+                       while !x < n4 do
+                         let o = oa + (sa * !x) in
+                         acc := !acc +. (ba.(o) *. vb);
+                         acc := !acc +. (ba.(o + sa) *. vb);
+                         acc := !acc +. (ba.(o + (2 * sa)) *. vb);
+                         acc := !acc +. (ba.(o + (3 * sa)) *. vb);
+                         x := !x + 4
+                       done;
+                       for x = n4 to n - 1 do
+                         acc := !acc +. (ba.(oa + (sa * x)) *. vb)
+                       done
+                     end
+                     else begin
+                       let x = ref 0 in
+                       while !x < n4 do
+                         let xa = oa + (sa * !x) and xb = ob + (sb * !x) in
+                         acc := !acc +. (ba.(xa) *. bb.(xb));
+                         acc := !acc +. (ba.(xa + sa) *. bb.(xb + sb));
+                         acc := !acc +. (ba.(xa + (2 * sa)) *. bb.(xb + (2 * sb)));
+                         acc := !acc +. (ba.(xa + (3 * sa)) *. bb.(xb + (3 * sb)));
+                         x := !x + 4
+                       done;
+                       for x = n4 to n - 1 do
+                         acc := !acc +. (ba.(oa + (sa * x)) *. bb.(ob + (sb * x)))
+                       done
+                     end);
+                    buf.(oc) <- !acc
+                  end
+                  else if sa = 0 && not alias_a then begin
+                    let va = ba.(oa) in
+                    for x = 0 to n - 1 do
+                      let o = oc + (astride * x) in
+                      buf.(o) <- buf.(o) +. (va *. bb.(ob + (sb * x)))
+                    done
+                  end
+                  else if sb = 0 && not alias_b then begin
+                    let vb = bb.(ob) in
+                    for x = 0 to n - 1 do
+                      let o = oc + (astride * x) in
+                      buf.(o) <- buf.(o) +. (ba.(oa + (sa * x)) *. vb)
+                    done
+                  end
+                  else
+                    for x = 0 to n - 1 do
+                      let o = oc + (astride * x) in
+                      buf.(o) <-
+                        buf.(o)
+                        +. (ba.(oa + (sa * x)) *. bb.(ob + (sb * x)))
+                    done
+                in
+                (step, run)
+            | _ ->
+                let fe = compile_value vm slots ctx pbases stride_any e in
+                let combine =
+                  match r with
+                  | Program.Rsum -> Float.add
+                  | Program.Rmax -> Float.max
+                in
+                let step x =
+                  let v = fe x in
+                  let o = apb.pb_base + (astride * x) in
+                  buf.(o) <- combine buf.(o) v
+                in
+                (step, generic_run step)
+          in
+          { ml_step = step; ml_run = run }
+      | Program.For _ | Program.Block _ -> raise Fallback
+    in
+    let leaves = Array.of_list (List.map compile_leaf stmts) in
+    Some { mp_pbases = Array.of_list !pbases; mp_leaves = leaves }
+  with Fallback -> None
+
+(* One execution of a macro group: refresh hoisted bases at x = 0, then
+   run leaves.  Multi-leaf blocks interleave per iteration, since a later
+   leaf may read what an earlier one wrote at the same iteration. *)
+let make_macro_runner ctx st (plan : macro_plan) vslot n =
+  let pbases = plan.mp_pbases and leaves = plan.mp_leaves in
+  let n_pbases = Array.length pbases and n_leaves = Array.length leaves in
+  fun () ->
+    st.macro_runs <- st.macro_runs + 1;
+    let env = ctx.env in
+    env.(vslot) <- 0;
+    for i = 0 to n_pbases - 1 do
+      let pb = pbases.(i) in
+      pb.pb_base <- pb.pb_off env
+    done;
+    if n_leaves = 1 then leaves.(0).ml_run n
+    else
+      for x = 0 to n - 1 do
+        env.(vslot) <- x;
+        for i = 0 to n_leaves - 1 do
+          leaves.(i).ml_step x
+        done
+      done
+
+(* ------------------------------------------------------------------ *)
+(* Statement compilation and entry point                              *)
+(* ------------------------------------------------------------------ *)
+
+let compile_stmts ctx st vm (p : Program.t) =
+  let slots = p.Program.slots in
+  let rec comp (s : Program.stmt) : unit -> unit =
+    match s with
+    | Program.For (l, b) -> (
+        let vslot = var_slot vm l.Program.v in
+        let n = l.Program.extent in
+        let plan =
+          if all_leaves b then macro_plan_of vm slots ctx l b else None
+        in
+        match plan with
+        | Some plan ->
+            st.macro_groups <- st.macro_groups + 1;
+            make_macro_runner ctx st plan vslot n
+        | None ->
+            if all_leaves b then begin
+              st.generic_groups <- st.generic_groups + 1;
+              let fb = comp b in
+              fun () ->
+                st.generic_runs <- st.generic_runs + 1;
+                let env = ctx.env in
+                for x = 0 to n - 1 do
+                  env.(vslot) <- x;
+                  fb ()
+                done
+            end
+            else
+              let fb = comp b in
+              fun () ->
+                let env = ctx.env in
+                for x = 0 to n - 1 do
+                  env.(vslot) <- x;
+                  fb ()
+                done)
+    | Program.Block lst ->
+        let fs = List.map comp lst in
+        fun () -> List.iter (fun f -> f ()) fs
+    | Program.Store (a, e) ->
+        let off = compile_offset vm slots a in
+        let fe = compile_plain vm slots ctx e in
+        let buf = ctx.bufs.(a.Program.slot) in
+        fun () ->
+          let v = fe ctx.env in
+          let o = off ctx.env in
+          buf.(o) <- v
+    | Program.Reduce (a, r, e) ->
+        let off = compile_offset vm slots a in
+        let fe = compile_plain vm slots ctx e in
+        let buf = ctx.bufs.(a.Program.slot) in
+        let combine =
+          match r with
+          | Program.Rsum -> Float.add
+          | Program.Rmax -> Float.max
+        in
+        fun () ->
+          let v = fe ctx.env in
+          let o = off ctx.env in
+          buf.(o) <- combine buf.(o) v
+  in
+  comp p.Program.body
+
+let compile (p : Program.t) ~(bufs : float array array) : t =
+  if Array.length bufs <> Array.length p.Program.slots then
+    invalid_arg "Kernel.compile: buffer count mismatch";
+  Array.iteri
+    (fun i b ->
+      let want =
+        Layout.num_physical_elements p.Program.slots.(i).Program.layout
+      in
+      if Array.length b <> want then
+        invalid_arg
+          (Fmt.str "Kernel.compile: slot %d (%s) has %d elements, want %d" i
+             p.Program.slots.(i).Program.sname (Array.length b) want))
+    bufs;
+  let ctx = { env = [||]; bufs } in
+  let st =
+    { macro_groups = 0; generic_groups = 0; macro_runs = 0; generic_runs = 0 }
+  in
+  let vm = { tbl = Hashtbl.create 64; next = 0 } in
+  let runner = compile_stmts ctx st vm p in
+  ctx.env <- Array.make (max 1 vm.next) 0;
+  { prog = p; bufs; run = runner; stats = st }
+
+let reset_non_inputs (k : t) =
+  Array.iteri
+    (fun i (s : Program.slot) ->
+      if s.Program.role <> Program.Input then
+        Array.fill k.bufs.(i) 0 (Array.length k.bufs.(i)) 0.0)
+    k.prog.Program.slots

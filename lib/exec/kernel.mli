@@ -1,0 +1,48 @@
+(** Compiled macro-kernels: the lowering half of the exec backend
+    (DESIGN.md §12).
+
+    [compile] turns a lowered {!Program.t} into a closure that executes
+    the loop nest for real over flat [float array] buffers — no cache
+    model, no counters, just the arithmetic.  Innermost loops whose
+    leaves access buffers affinely in the loop variable become
+    macro-kernels: tight array loops over hoisted base offsets, with the
+    multiply-accumulate shape every conv/matmul reduction lowers to
+    specialized (invariant operands hoisted, scalar accumulators kept in
+    a register, innermost iterations unrolled).  Everything else falls
+    back to a generic compiled interpretation of the same nest.
+
+    The value semantics mirror the scalar interpreter in
+    [lib/machine/profiler.ml] operation for operation — same combine
+    functions, same evaluation order, same accumulation chains — so
+    outputs are bit-identical to a simulator run of the same program
+    (pinned by test/test_exec.ml). *)
+
+module Program = Alt_ir.Program
+
+(** Coverage counters, filled at compile and execution time.  A "group"
+    is an innermost loop with leaf-only body — the unit the macro
+    compiler targets. *)
+type stats = {
+  mutable macro_groups : int;  (** groups compiled to macro-kernels *)
+  mutable generic_groups : int;  (** groups that fell back *)
+  mutable macro_runs : int;  (** innermost-loop executions, macro path *)
+  mutable generic_runs : int;  (** innermost-loop executions, fallback *)
+}
+
+type t = private {
+  prog : Program.t;
+  bufs : float array array;
+  run : unit -> unit;  (** one full execution of the program *)
+  stats : stats;
+}
+
+val compile : Program.t -> bufs:float array array -> t
+(** Compile the program against per-slot physical buffers (see
+    [Runtime.alloc_bufs]; lengths are validated).  The returned closure
+    may be invoked repeatedly; note that [Reduce] statements accumulate
+    into whatever the output buffers hold, so re-running without
+    resetting non-input buffers computes a different (larger) result. *)
+
+val reset_non_inputs : t -> unit
+(** Zero every non-[Input] buffer, restoring the post-[alloc_bufs]
+    state so [run] is repeatable. *)

@@ -1,0 +1,70 @@
+(* Rank correlation (Spearman rho, Kendall tau-b) for sim-vs-exec
+   cross-validation.  Candidate sets are a few dozen points, so the
+   O(n^2) tau is fine and numerical care stops at using sums of floats
+   over small n. *)
+
+let ranks (xs : float array) : float array =
+  let n = Array.length xs in
+  let idx = Array.init n Fun.id in
+  Array.sort (fun a b -> Float.compare xs.(a) xs.(b)) idx;
+  let r = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && xs.(idx.(!j + 1)) = xs.(idx.(!i)) do
+      incr j
+    done;
+    (* average 1-based rank over the tie block [i..j] *)
+    let avg = ((float_of_int !i +. float_of_int !j) /. 2.0) +. 1.0 in
+    for k = !i to !j do
+      r.(idx.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  r
+
+let pearson (a : float array) (b : float array) : float =
+  let n = Array.length a in
+  if n < 2 || Array.length b <> n then Float.nan
+  else begin
+    let fn = float_of_int n in
+    let mean xs = Array.fold_left ( +. ) 0.0 xs /. fn in
+    let ma = mean a and mb = mean b in
+    let sab = ref 0.0 and saa = ref 0.0 and sbb = ref 0.0 in
+    for i = 0 to n - 1 do
+      let da = a.(i) -. ma and db = b.(i) -. mb in
+      sab := !sab +. (da *. db);
+      saa := !saa +. (da *. da);
+      sbb := !sbb +. (db *. db)
+    done;
+    if !saa = 0.0 || !sbb = 0.0 then Float.nan
+    else !sab /. sqrt (!saa *. !sbb)
+  end
+
+let spearman a b =
+  if Array.length a <> Array.length b then Float.nan
+  else pearson (ranks a) (ranks b)
+
+let kendall (a : float array) (b : float array) : float =
+  let n = Array.length a in
+  if n < 2 || Array.length b <> n then Float.nan
+  else begin
+    let concordant = ref 0 and discordant = ref 0 in
+    let ties_a = ref 0 and ties_b = ref 0 in
+    for i = 0 to n - 2 do
+      for j = i + 1 to n - 1 do
+        let da = Float.compare a.(i) a.(j)
+        and db = Float.compare b.(i) b.(j) in
+        if da = 0 && db = 0 then ()
+        else if da = 0 then incr ties_a
+        else if db = 0 then incr ties_b
+        else if da * db > 0 then incr concordant
+        else incr discordant
+      done
+    done;
+    let c = float_of_int !concordant and d = float_of_int !discordant in
+    let n1 = c +. d +. float_of_int !ties_a
+    and n2 = c +. d +. float_of_int !ties_b in
+    if n1 = 0.0 || n2 = 0.0 then Float.nan
+    else (c -. d) /. sqrt (n1 *. n2)
+  end

@@ -1,0 +1,16 @@
+(** Rank correlation between two latency vectors — the cross-validation
+    statistic of the exec backend (DESIGN.md §12): does the simulator
+    rank candidates the way the real device does?
+
+    Both statistics use average ranks for ties (Spearman) and the tau-b
+    tie correction (Kendall); with fewer than two points, or when either
+    vector is constant, they return [nan] — callers must gate. *)
+
+val ranks : float array -> float array
+(** 1-based ranks, ties averaged. *)
+
+val spearman : float array -> float array -> float
+(** Spearman's rho: Pearson correlation of the rank vectors. *)
+
+val kendall : float array -> float array -> float
+(** Kendall's tau-b (O(n^2); candidate sets are small). *)

@@ -42,6 +42,11 @@ type engine_stats = {
 
 val fresh_engine_stats : unit -> engine_stats
 
+val parallel_extent : Program.t -> int
+(** Product of the extents of [Parallel] loops — the [parallel_extent]
+    the profiler reports; exported so other backends (exec) can fill the
+    same {!result} field consistently. *)
+
 val fast_sim_enabled : unit -> bool
 (** Default for [?fast]: [false] iff [ALT_FAST_SIM] is set to
     [0]/[false]/[off]/[no] (read once, lazily). *)

@@ -31,13 +31,61 @@ let output_logical (p : Program.t) (bufs : float array array) name :
   let i = Program.slot_index p name in
   Layout.unpack p.Program.slots.(i).Program.layout bufs.(i)
 
+(* ------------------------------------------------------------------ *)
+(* Measurement backends (DESIGN.md §12)                               *)
+(* ------------------------------------------------------------------ *)
+
+type backend = Sim | Exec of Alt_exec.Exec.cfg
+
+let backend_tag = function
+  | Sim -> "sim"
+  | Exec cfg ->
+      Fmt.str "exec:w%d:r%d:%s" cfg.Alt_exec.Exec.warmup
+        cfg.Alt_exec.Exec.repeats
+        (match cfg.Alt_exec.Exec.clock with
+        | Alt_exec.Exec.Wall -> "wall"
+        | Alt_exec.Exec.Virtual _ -> "virtual")
+
+(* Present an exec measurement in the profiler's result type, so every
+   consumer of measurements (tuners, caches, checkpoints, CLI printers)
+   works unchanged.  The exec device has no counter model: instruction
+   and cache fields are zero, [flops] is the program's static count, and
+   [cycles] is derived from the wall clock at the machine's frequency.
+   The exec device always executes the full program ([sampled=false]),
+   and runs serially — [parallel_extent] is reported for symmetry but no
+   speedup was applied. *)
+let result_of_wall ~(machine : Machine.t) (p : Program.t)
+    (w : Alt_exec.Exec.wall) : Profiler.result =
+  {
+    Profiler.machine;
+    insts = 0.0;
+    loads = 0.0;
+    stores = 0.0;
+    flops = float_of_int p.Program.flops;
+    l1_accesses = 0.0;
+    l1_misses = 0.0;
+    l2_misses = 0.0;
+    parallel_extent = Profiler.parallel_extent p;
+    cycles = w.Alt_exec.Exec.median_ms *. machine.Machine.freq_ghz *. 1e6;
+    latency_ms = w.Alt_exec.Exec.median_ms;
+    sampled = false;
+    scale = 1.0;
+  }
+
 (* Run a program end to end on logical inputs; returns the logical contents
    of every non-input slot plus the profiler result. *)
-let run_logical ?machine ?max_points ?fast (p : Program.t)
+let run_logical ?(machine = Machine.intel_cpu) ?max_points ?fast
+    ?(backend = Sim) (p : Program.t)
     ~(inputs : (string * float array) list) :
     (string * float array) list * Profiler.result =
   let bufs = alloc_bufs p ~inputs in
-  let r = Profiler.run ?machine ?max_points ?fast p ~bufs in
+  let r =
+    match backend with
+    | Sim -> Profiler.run ~machine ?max_points ?fast p ~bufs
+    | Exec cfg ->
+        let w = Alt_exec.Exec.measure ~cfg p ~bufs in
+        result_of_wall ~machine p w
+  in
   let outs =
     Array.to_list p.Program.slots
     |> List.filter (fun (s : Program.slot) -> s.Program.role <> Program.Input)

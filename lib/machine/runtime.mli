@@ -13,9 +13,29 @@ val alloc_bufs :
 val output_logical : Program.t -> float array array -> string -> float array
 (** Unpack a non-input slot back to logical row-major data. *)
 
+(** Which device measures a program (DESIGN.md §12): [Sim] interprets it
+    under the cache simulator (the default everywhere); [Exec] compiles
+    it to macro-kernels and times real execution with the given
+    warmup/repeat discipline.  Both produce element-wise identical
+    outputs and a {!Profiler.result}. *)
+type backend = Sim | Exec of Alt_exec.Exec.cfg
+
+val backend_tag : backend -> string
+(** Short stable tag ("sim", "exec:w2:r5:wall", ...) used in
+    measurement-cache fingerprints: sim and exec results never mix. *)
+
+val result_of_wall :
+  machine:Machine.t -> Program.t -> Alt_exec.Exec.wall -> Profiler.result
+(** Present an exec measurement as a profiler result ([latency_ms] is
+    the median wall time; counter fields are zero, [sampled] is false)
+    so caches, checkpoints and tuners consume it unchanged. *)
+
 val run_logical :
-  ?machine:Machine.t -> ?max_points:int -> ?fast:bool -> Program.t ->
+  ?machine:Machine.t -> ?max_points:int -> ?fast:bool -> ?backend:backend ->
+  Program.t ->
   inputs:(string * float array) list ->
   (string * float array) list * Profiler.result
 (** Run end-to-end on logical inputs; returns the logical contents of every
-    non-input slot plus the profile.  [fast] is passed to {!Profiler.run}. *)
+    non-input slot plus the profile.  [fast] and [max_points] are passed to
+    {!Profiler.run} and ignored by the [Exec] backend (which always runs
+    the full program). *)

@@ -79,7 +79,7 @@ type tuned_graph = {
 }
 
 let tune_graph ?(seed = 0) ?(jobs = 1) ?(levels = 1) ?(max_points = 30_000)
-    ?faults ?retries ?fast ?memo ?warm_start ~(system : gsystem)
+    ?faults ?retries ?fast ?memo ?backend ?warm_start ~(system : gsystem)
     ~(machine : Machine.t) ~(budget : int) (g : Graph.t) : tuned_graph =
   Alt_obs.Trace.with_span "graph_tuner.tune_graph" @@ fun () ->
   let complex = Graph.complex_nodes g in
@@ -114,7 +114,7 @@ let tune_graph ?(seed = 0) ?(jobs = 1) ?(levels = 1) ?(max_points = 30_000)
       in
       let task =
         Measure.make_task ~fused:fused_ops ~max_points ?faults ?retries
-          ?fast ?memo ~machine node.Graph.op
+          ?fast ?memo ?backend ~machine node.Graph.op
       in
       let tune_task () =
         match system with

@@ -32,6 +32,7 @@ type tuned_graph = {
 val tune_graph :
   ?seed:int -> ?jobs:int -> ?levels:int -> ?max_points:int ->
   ?faults:Alt_faults.Fault.t -> ?retries:int -> ?fast:bool -> ?memo:bool ->
+  ?backend:Alt_machine.Runtime.backend ->
   ?warm_start:bool -> system:gsystem -> machine:Machine.t -> budget:int ->
   Graph.t -> tuned_graph
 (** [jobs] bounds the domains used for concurrent measurements per tuning
@@ -40,7 +41,9 @@ val tune_graph :
     {!Measure}).  [fast] selects the profiler's fast engine per task
     (default: the [ALT_FAST_SIM] knob) and [memo] the per-task
     lowering/feature memo cache (default on); trajectories are identical
-    either way.  [warm_start] keeps each task's cost model across batches
+    either way.  [backend] selects the measuring device per task (see
+    {!Measure.make_task}).  [warm_start] keeps each task's cost model
+    across batches
     (off by default; changes trajectories — see {!Tuner.tune_alt}). *)
 
 val run :

@@ -51,6 +51,7 @@ module Program = Alt_ir.Program
 module Sexpr = Alt_ir.Sexpr
 module Machine = Alt_machine.Machine
 module Profiler = Alt_machine.Profiler
+module Runtime = Alt_machine.Runtime
 module Propagate = Alt_graph.Propagate
 module Pool = Alt_parallel.Pool
 module Fault = Alt_faults.Fault
@@ -87,6 +88,7 @@ type task = {
   machine : Machine.t;
   max_points : int;
   fast : bool; (* line-granular fast simulation (counter-identical) *)
+  backend : Runtime.backend; (* which device measures candidates *)
   feeds : (string * float array) list; (* logical data for all inputs *)
   mutable spent : int; (* measurements consumed *)
   cache : (string, Profiler.result) Hashtbl.t;
@@ -122,7 +124,8 @@ let task_inputs (op : Opdef.t) (fused : Opdef.t list) =
 
 let make_task ?(fused = []) ?(max_points = 40_000) ?(seed = 11)
     ?(faults = Fault.none) ?(retries = 2) ?watchdog_points
-    ?(fast = Profiler.fast_sim_enabled ()) ?(memo = true) ~machine op =
+    ?(fast = Profiler.fast_sim_enabled ()) ?(memo = true)
+    ?(backend = Runtime.Sim) ~machine op =
   if retries < 0 then invalid_arg "Measure.make_task: retries must be >= 0";
   let feeds =
     List.mapi
@@ -135,6 +138,7 @@ let make_task ?(fused = []) ?(max_points = 40_000) ?(seed = 11)
     machine;
     max_points;
     fast;
+    backend;
     feeds;
     spent = 0;
     cache = Hashtbl.create 64;
@@ -415,9 +419,13 @@ let candidate_key (t : task) (choice : Propagate.choice)
 (* Measurement                                                        *)
 (* ------------------------------------------------------------------ *)
 
-(* One profiler run: pack inputs through the candidate's layouts, allocate
-   outputs/temps, simulate.  Pure w.r.t. the task (reads feeds/machine
-   only), so it is safe to run concurrently from pool workers. *)
+(* One measurement: pack inputs through the candidate's layouts, allocate
+   outputs/temps, then run the task's backend — the cache simulator, or
+   the exec device (compiled macro-kernels timed for real; DESIGN.md
+   §12).  Pure w.r.t. the task (reads feeds/machine only), so it is safe
+   to run concurrently from pool workers; under [Exec] with a [Wall]
+   clock the result is real time and thus not reproducible — trajectory
+   determinism tests use a [Virtual] exec clock. *)
 let simulate (t : task) (prog : Program.t) : Profiler.result =
   let bufs =
     Array.map
@@ -429,8 +437,13 @@ let simulate (t : task) (prog : Program.t) : Profiler.result =
             Array.make (Layout.num_physical_elements s.Program.layout) 0.0)
       prog.Program.slots
   in
-  Profiler.run ~machine:t.machine ~max_points:t.max_points ~fast:t.fast prog
-    ~bufs
+  match t.backend with
+  | Runtime.Sim ->
+      Profiler.run ~machine:t.machine ~max_points:t.max_points ~fast:t.fast
+        prog ~bufs
+  | Runtime.Exec cfg ->
+      let w = Alt_exec.Exec.measure ~cfg prog ~bufs in
+      Runtime.result_of_wall ~machine:t.machine prog w
 
 (* Iteration points of a program — what the watchdog compares against its
    hard cap. *)
@@ -701,9 +714,10 @@ let fingerprint ~seed ~tag (t : task) : string =
   let feeds = Digest.to_hex (Digest.string (Marshal.to_string t.feeds [])) in
   Digest.to_hex
     (Digest.string
-       (Fmt.str "%s|%s|%a|%d|%s|%d|%d|%.9f|%d|%d|%a|%s" tag t.op.Opdef.name
-          Shape.pp t.op.Opdef.out_shape (List.length t.fused)
-          t.machine.Machine.name t.max_points seed t.faults.Fault.rate
-          t.faults.Fault.seed t.retries
+       (Fmt.str "%s|%s|%a|%d|%s|%d|%s|%d|%.9f|%d|%d|%a|%s" tag
+          t.op.Opdef.name Shape.pp t.op.Opdef.out_shape (List.length t.fused)
+          t.machine.Machine.name t.max_points
+          (Runtime.backend_tag t.backend)
+          seed t.faults.Fault.rate t.faults.Fault.seed t.retries
           Fmt.(option int)
           t.watchdog_points feeds))

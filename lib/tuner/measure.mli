@@ -10,6 +10,7 @@ module Schedule = Alt_ir.Schedule
 module Program = Alt_ir.Program
 module Machine = Alt_machine.Machine
 module Profiler = Alt_machine.Profiler
+module Runtime = Alt_machine.Runtime
 module Propagate = Alt_graph.Propagate
 module Pool = Alt_parallel.Pool
 module Fault = Alt_faults.Fault
@@ -66,6 +67,11 @@ type task = {
       (** use the profiler's line-granular fast engine; counters are
           identical either way, so [fast] is deliberately excluded from
           {!fingerprint} — checkpoints are interchangeable across it *)
+  backend : Runtime.backend;
+      (** which device measures candidates: the cache simulator
+          ({!Runtime.Sim}, default) or compiled macro-kernels timed for
+          real ({!Runtime.Exec}); included in {!fingerprint}, so sim and
+          exec checkpoints never mix *)
   feeds : (string * float array) list;
   mutable spent : int; (** measurements consumed (cache hits included) *)
   cache : (string, Profiler.result) Hashtbl.t;
@@ -92,13 +98,18 @@ type task = {
 val make_task :
   ?fused:Opdef.t list -> ?max_points:int -> ?seed:int -> ?faults:Fault.t ->
   ?retries:int -> ?watchdog_points:int -> ?fast:bool -> ?memo:bool ->
+  ?backend:Runtime.backend ->
   machine:Machine.t -> Opdef.t -> task
 (** [retries] defaults to 2.  With the default [faults] ({!Fault.none})
     and no [watchdog_points], the measurement pipeline is byte-identical
     to a fault-free build.  [fast] defaults to
     {!Profiler.fast_sim_enabled} (the [ALT_FAST_SIM] knob).  [memo]
     (default true) enables the per-task lowering/feature memo cache —
-    results are identical either way, only repeated work changes. *)
+    results are identical either way, only repeated work changes.
+    [backend] (default {!Runtime.Sim}) selects the measuring device;
+    fault injection, retries, the watchdog and quarantine apply
+    identically to either backend — they wrap the measurement, not the
+    simulator. *)
 
 val cache_stats : task -> cache_stats
 val fault_stats : task -> fault_stats

@@ -443,3 +443,107 @@ let gmm_nk (op : Opdef.t) : Propagate.choice =
 
 let gmm_nkn ?(block = 16) (op : Opdef.t) : Propagate.choice =
   blocked_choice op ~block
+
+(* Deterministic affine "layout zoo" for cross-device rank validation
+   (DESIGN.md 12): every choice keeps the loop-nest depth of the default
+   schedule — the layouts differ only by [reorder] and [pad], never
+   [split]/[unfold], which would change the compiled loop structure (and
+   force the exec backend's generic fallback).  Candidates therefore
+   differ in exactly one observable: memory access order.  Any two
+   devices that price strides sanely must rank the zoo similarly. *)
+let layout_zoo (op : Opdef.t) : Propagate.choice list =
+  let pad_last l =
+    let r = Shape.rank (Layout.physical_shape l) in
+    Layout.pad l ~dim:(r - 1) ~lo:0 ~hi:1
+  in
+  (* swap the two innermost dims: KN <-> NK of Fig. 1 / row- vs
+     column-major streaming *)
+  let swap sh =
+    let n = Shape.rank sh in
+    let p = Array.init n Fun.id in
+    p.(n - 2) <- n - 1;
+    p.(n - 1) <- n - 2;
+    Layout.reorder (Layout.create sh) p
+  in
+  match op.Opdef.kind with
+  | Opdef.Matmul mm ->
+      let a_shape = Opdef.input_shape op mm.a in
+      let b_shape = Opdef.input_shape op mm.b in
+      let outs =
+        [ Layout.create op.Opdef.out_shape; swap op.Opdef.out_shape ]
+      in
+      let avs = [ Layout.create a_shape; swap a_shape ] in
+      let bvs =
+        [
+          Layout.create b_shape;
+          swap b_shape;
+          pad_last (Layout.create b_shape);
+          pad_last (swap b_shape);
+        ]
+      in
+      List.concat_map
+        (fun o ->
+          List.concat_map
+            (fun a ->
+              List.map
+                (fun b ->
+                  {
+                    Propagate.out_layout = o;
+                    in_layouts = [ (mm.a, a); (mm.b, b) ];
+                  })
+                bvs)
+            avs)
+        outs
+  | Opdef.Conv c ->
+      let triv = trivial_choice op and cl = channels_last_choice op in
+      let inp_of ch = List.assoc c.inp ch.Propagate.in_layouts in
+      let ker_of ch = List.assoc c.ker ch.Propagate.in_layouts in
+      let outs = [ triv.Propagate.out_layout; cl.Propagate.out_layout ] in
+      let inps = [ inp_of triv; inp_of cl; pad_last (inp_of triv) ] in
+      let kers = [ ker_of triv; ker_of cl ] in
+      List.concat_map
+        (fun o ->
+          List.concat_map
+            (fun i ->
+              List.map
+                (fun k ->
+                  {
+                    Propagate.out_layout = o;
+                    in_layouts = [ (c.inp, i); (c.ker, k) ];
+                  })
+                kers)
+            inps)
+        outs
+  | Opdef.Simple ->
+      (* streaming grid: row- vs column-major storage of every tensor,
+         with padded variants of the inputs.  A transposed input turns a
+         unit-stride sweep into a large-stride one — the axis both a
+         cache model and a real machine must price. *)
+      if Shape.rank op.Opdef.out_shape < 2 then [ trivial_choice op ]
+      else
+        let outs =
+          [
+            Layout.create op.Opdef.out_shape;
+            swap op.Opdef.out_shape;
+          ]
+        in
+        let swap' sh = if Shape.rank sh < 2 then Layout.create sh else swap sh in
+        let in_variants =
+          [
+            (fun sh -> Layout.create sh);
+            swap';
+            (fun sh -> pad_last (Layout.create sh));
+            (fun sh -> pad_last (swap' sh));
+          ]
+        in
+        List.concat_map
+          (fun o ->
+            List.map
+              (fun v ->
+                {
+                  Propagate.out_layout = o;
+                  in_layouts =
+                    List.map (fun (n, sh) -> (n, v sh)) op.Opdef.inputs;
+                })
+              in_variants)
+          outs

@@ -61,3 +61,10 @@ val blocked_choice : Opdef.t -> block:int -> Propagate.choice
 val gmm_kn : Opdef.t -> Propagate.choice
 val gmm_nk : Opdef.t -> Propagate.choice
 val gmm_nkn : ?block:int -> Opdef.t -> Propagate.choice
+
+val layout_zoo : Opdef.t -> Propagate.choice list
+(** Deterministic affine layout variants (reorder/pad only — constant
+    loop-nest structure) for cross-device rank validation: GMM gets the
+    KN/NK family of Fig. 1 with padded variants, convolutions the
+    NOHW/NHWO x IHW/HWI grid.  Simple operators get the single trivial
+    choice. *)

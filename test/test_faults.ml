@@ -18,6 +18,9 @@ module Schedule = Alt_ir.Schedule
 module Ops = Alt_graph.Ops
 module Propagate = Alt_graph.Propagate
 module Machine = Alt_machine.Machine
+module Runtime = Alt_machine.Runtime
+module Exec = Alt_exec.Exec
+module Program = Alt_ir.Program
 module Fault = Alt_faults.Fault
 module Templates = Alt_tuner.Templates
 module Loopspace = Alt_tuner.Loopspace
@@ -29,9 +32,21 @@ let tiny_c2d () =
   Ops.c2d ~name:"c2d" ~inp:"X" ~ker:"K" ~out:"Y" ~n:1 ~i:4 ~o:8 ~h:6 ~w:6
     ~kh:3 ~kw:3 ()
 
-let make_task ?faults ?retries ?watchdog_points op =
+let make_task ?faults ?retries ?watchdog_points ?backend op =
   Measure.make_task ~machine:Machine.intel_cpu ~max_points:2_000 ~seed:7
-    ?faults ?retries ?watchdog_points op
+    ?faults ?retries ?watchdog_points ?backend op
+
+(* Exec backend with a virtual clock: the kernel still compiles and runs
+   once (so a crashing candidate crashes here too), but the reported
+   latency is a pure function of the program — deterministic, so the
+   jobs differential below can demand byte-identical trajectories. *)
+let exec_backend =
+  Runtime.Exec
+    {
+      Exec.warmup = 0;
+      repeats = 1;
+      clock = Exec.Virtual (fun p -> 0.001 *. float_of_int p.Program.flops);
+    }
 
 let choice_equal (a : Propagate.choice) (b : Propagate.choice) =
   Layout.equal a.Propagate.out_layout b.Propagate.out_layout
@@ -162,6 +177,35 @@ let test_watchdog_timeout () =
     "roomy watchdog = no watchdog" true
     (Measure.measure t2 choice sched = Measure.measure clean choice sched)
 
+(* Fault injection sits above the backend dispatch, so a crashing
+   candidate must follow the exact same retry/quarantine path whether
+   the measurement below it is the simulator or a compiled kernel: same
+   structured error, same quarantine answer on re-proposal, same fault
+   counters and budget charges. *)
+let test_exec_crash_quarantines_identically () =
+  let op = tiny_c2d () in
+  let seed = seed_with_mode op (function Fault.Crash -> true | _ -> false) in
+  let choice, sched = fixed_candidate op in
+  let faults () = Fault.create ~seed ~rate:1.0 () in
+  let sim = make_task ~faults:(faults ()) ~retries:1 op in
+  let exec = make_task ~faults:(faults ()) ~retries:1 ~backend:exec_backend op in
+  let sim1 = Measure.measure sim choice sched in
+  let exec1 = Measure.measure exec choice sched in
+  Alcotest.(check bool)
+    (Fmt.str "first outcome identical (%a)" Measure.pp_outcome exec1)
+    true (sim1 = exec1);
+  (match exec1 with
+  | Measure.Sim_error _ -> ()
+  | o -> Alcotest.failf "expected Sim_error, got %a" Measure.pp_outcome o);
+  let sim2 = Measure.measure sim choice sched in
+  let exec2 = Measure.measure exec choice sched in
+  Alcotest.(check bool) "re-proposal quarantined on both" true
+    (sim2 = Measure.Quarantined && exec2 = Measure.Quarantined);
+  let fs = Measure.fault_stats sim and fe = Measure.fault_stats exec in
+  Alcotest.(check bool) "fault counters identical" true (fs = fe);
+  Alcotest.(check int) "budget charged identically" sim.Measure.spent
+    exec.Measure.spent
+
 (* ------------------------------------------------------------------ *)
 (* Fault-off identity; tuners under faults                             *)
 (* ------------------------------------------------------------------ *)
@@ -197,6 +241,29 @@ let prop_faulty_differential =
       let run jobs =
         let task =
           make_task ~faults:(Fault.create ~seed ~rate:0.3 ()) ~retries:2 op
+        in
+        Tuner.tune_loop_only ~seed ~jobs ~explorer ~budget:14
+          ~layouts:[ Templates.trivial_choice op ]
+          task
+      in
+      result_equal (run 1) (run 4))
+
+(* The same pool-size independence must hold when the measurements are
+   exec-backend kernel runs (virtual clock: deterministic latencies). *)
+let prop_exec_faulty_differential =
+  QCheck2.Test.make ~count:20
+    ~name:"exec backend, fault rate 0.3: jobs=1 = jobs=4"
+    QCheck2.Gen.(pair (int_bound 999) (int_bound 2))
+    (fun (seed, e) ->
+      let explorer =
+        match e with 0 -> Tuner.Guided | 1 -> Tuner.Walk | _ -> Tuner.Restricted
+      in
+      let op = tiny_c2d () in
+      let run jobs =
+        let task =
+          make_task
+            ~faults:(Fault.create ~seed ~rate:0.3 ())
+            ~retries:2 ~backend:exec_backend op
         in
         Tuner.tune_loop_only ~seed ~jobs ~explorer ~budget:14
           ~layouts:[ Templates.trivial_choice op ]
@@ -418,6 +485,8 @@ let () =
           Alcotest.test_case "crash exhausts retries, quarantines" `Quick
             test_crash_quarantines;
           Alcotest.test_case "watchdog timeout" `Quick test_watchdog_timeout;
+          Alcotest.test_case "exec backend quarantines identically" `Quick
+            test_exec_crash_quarantines_identically;
         ] );
       ( "tuners-under-faults",
         [
@@ -427,7 +496,11 @@ let () =
             test_partial_faults_still_tune;
         ] );
       qsuite "fault-props"
-        [ prop_fault_off_retries_inert; prop_faulty_differential ];
+        [
+          prop_fault_off_retries_inert;
+          prop_faulty_differential;
+          prop_exec_faulty_differential;
+        ];
       ( "checkpoint",
         [
           Alcotest.test_case "save/load roundtrip + restore" `Quick

@@ -164,6 +164,115 @@ let test_fused_logical_profile_independent () =
         true (z = z0))
     runs
 
+(* ------------------------------------------------------------------ *)
+(* Cache bulk interface: state-level oracle                           *)
+(* ------------------------------------------------------------------ *)
+
+module Cache = Alt_machine.Cache
+
+(* The profiler's fast path memoizes a way handle per stream and only
+   revalidates it when [generation] moved (DESIGN.md §9).  This drives a
+   cache through that exact discipline — touch_run on an unchanged
+   generation, access_run re-probe when installs happened but the way
+   still holds the line, full access_run reinstall after a conflict
+   eviction — while a reference cache replays the equivalent plain
+   [access] sequence.  Tags, per-set recency order and all counters
+   must end identical; this is the state oracle behind the fast
+   engine's counter-exactness claim. *)
+let test_bulk_state_oracle () =
+  let cfg = { Cache.size_bytes = 1024; assoc = 2; line_bytes = 64 } in
+  let sets = cfg.Cache.size_bytes / (cfg.Cache.assoc * cfg.Cache.line_bytes) in
+  let fast = Cache.create cfg and elem = Cache.create cfg in
+  let line_of addr = addr / cfg.Cache.line_bytes in
+  (* memoized stream handle, exactly as the profiler keeps one *)
+  let s_addr = ref 0 in
+  let s_way = ref (-1) and s_line = ref (-1) and s_gen = ref (-1) in
+  let revalidations = ref 0 and reinstalls = ref 0 and memo_hits = ref 0 in
+  let run_stream n =
+    let line = line_of !s_addr in
+    (if !s_way >= 0 && !s_line = line && !s_gen = Cache.generation fast then begin
+       (* no install since validation: guaranteed-hit bulk touch *)
+       incr memo_hits;
+       Cache.touch_run fast !s_way n
+     end
+     else if !s_way >= 0 && !s_line = line && Cache.way_line fast !s_way = line
+     then begin
+       (* generation moved but the way still holds our line: one real
+          probe revalidates, the rest is bulk *)
+       incr revalidations;
+       let hit, way = Cache.access_run fast !s_addr n in
+       Alcotest.(check bool) "revalidated line hits" true hit;
+       s_way := way;
+       s_gen := Cache.generation fast
+     end
+     else begin
+       (* cold or evicted (or the stream advanced): full re-probe *)
+       incr reinstalls;
+       let _hit, way = Cache.access_run fast !s_addr n in
+       s_way := way;
+       s_line := line;
+       s_gen := Cache.generation fast
+     end);
+    for _ = 1 to n do
+      ignore (Cache.access elem !s_addr : bool)
+    done
+  in
+  let both_access addr =
+    ignore (Cache.access fast addr : bool);
+    ignore (Cache.access elem addr : bool)
+  in
+  let both_prefetch addr =
+    ignore (Cache.prefetch fast addr : bool);
+    ignore (Cache.prefetch elem addr : bool)
+  in
+  let st = Random.State.make [| 7 |] in
+  for _round = 1 to 400 do
+    run_stream (1 + Random.State.int st 4);
+    match Random.State.int st 5 with
+    | 0 ->
+        (* conflicting same-set traffic; k > assoc - 1 evicts our line *)
+        let k = 1 + Random.State.int st (cfg.Cache.assoc + 1) in
+        for j = 1 to k do
+          both_access (!s_addr + (j * sets * cfg.Cache.line_bytes))
+        done
+    | 1 ->
+        (* prefetch install elsewhere bumps the generation without
+           touching our set *)
+        both_prefetch (!s_addr + cfg.Cache.line_bytes)
+    | 2 ->
+        (* stream advances to the next line, as at a loop-row boundary *)
+        s_addr := (!s_addr + cfg.Cache.line_bytes)
+                  mod (4 * sets * cfg.Cache.line_bytes)
+    | _ -> ()
+  done;
+  (* every branch of the memoization discipline must actually fire *)
+  Alcotest.(check bool)
+    (Fmt.str "all paths exercised (memo %d, revalidate %d, reinstall %d)"
+       !memo_hits !revalidations !reinstalls)
+    true
+    (!memo_hits > 0 && !revalidations > 0 && !reinstalls > 0);
+  let fs = Cache.stats fast and es = Cache.stats elem in
+  Alcotest.(check int) "accesses" es.Cache.accesses fs.Cache.accesses;
+  Alcotest.(check int) "hits" es.Cache.hits fs.Cache.hits;
+  Alcotest.(check int) "misses" es.Cache.misses fs.Cache.misses;
+  Alcotest.(check int) "prefetch installs" es.Cache.prefetch_installs
+    fs.Cache.prefetch_installs;
+  Alcotest.(check int) "prefetch hits" es.Cache.prefetch_hits
+    fs.Cache.prefetch_hits;
+  let ftags, fstamps = Cache.dump fast and etags, estamps = Cache.dump elem in
+  Alcotest.(check bool) "tags identical" true (ftags = etags);
+  let recency tags stamps =
+    List.init sets (fun s ->
+        List.init cfg.Cache.assoc (fun w -> w)
+        |> List.filter (fun w -> tags.((s * cfg.Cache.assoc) + w) >= 0)
+        |> List.sort (fun a b ->
+               compare
+                 stamps.((s * cfg.Cache.assoc) + a)
+                 stamps.((s * cfg.Cache.assoc) + b)))
+  in
+  Alcotest.(check bool) "per-set recency order identical" true
+    (recency ftags fstamps = recency etags estamps)
+
 let () =
   Alcotest.run "alt_machine"
     [
@@ -182,5 +291,10 @@ let () =
             test_gpu_parallel_wins;
           Alcotest.test_case "fused conv+relu profile-independent" `Quick
             test_fused_logical_profile_independent;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "bulk interface state oracle" `Quick
+            test_bulk_state_oracle;
         ] );
     ]
