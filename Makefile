@@ -1,7 +1,7 @@
 # Tier-1 gate: everything builds, every test suite passes.
 .PHONY: all check test bench bench-profiler bench-profiler-smoke \
 	bench-tuner bench-tuner-smoke fault-smoke obs-smoke exec-smoke \
-	bench-crossval bench-crossval-smoke clean
+	serve-smoke bench-crossval bench-crossval-smoke clean
 
 all:
 	dune build @all
@@ -43,9 +43,19 @@ bench-tuner-smoke:
 obs-smoke:
 	dune exec bin/alt_cli.exe -- tune-op --op c2d --channels 4 \
 	  --out-channels 8 --spatial 6 --budget 24 --seed 1 --jobs 2 \
-	  --trace obs_smoke.trace.jsonl --metrics obs_smoke.metrics.json
+	  --trace _build/obs_smoke.trace.jsonl \
+	  --metrics _build/obs_smoke.metrics.json
 	dune exec bin/alt_cli.exe -- obs-validate \
-	  --trace obs_smoke.trace.jsonl --metrics obs_smoke.metrics.json
+	  --trace _build/obs_smoke.trace.jsonl \
+	  --metrics _build/obs_smoke.metrics.json
+
+# Serve gate: a pipe-mode daemon must admit 3 concurrent sessions, shed
+# the overflow with structured rejections, survive an injected crash
+# (exit 42) and, restarted on the same journal, recover the interrupted
+# sessions to byte-identical results (DESIGN.md §13).
+serve-smoke:
+	dune build bin/alt_cli.exe
+	sh scripts/serve_smoke.sh
 
 # Exec-backend gate: a tuning run measured by compiled kernels on the
 # wall clock must complete with a finite best latency and a lowerable
@@ -69,7 +79,7 @@ bench-crossval-smoke:
 	ALT_BENCH_SCALE=smoke dune exec bench/bench_crossval.exe
 
 check: all test bench-profiler-smoke bench-tuner-smoke fault-smoke \
-	obs-smoke exec-smoke bench-crossval-smoke
+	obs-smoke exec-smoke serve-smoke bench-crossval-smoke
 
 # quick-scale regeneration of the paper's tables and figures
 bench:

@@ -215,33 +215,14 @@ let kernel_arg =
 let stride_arg =
   Arg.(value & opt int 1 & info [ "stride" ] ~docv:"N" ~doc:"Stride.")
 
+(* One definition of the CLI operator space: the serve workload spec is
+   the wire-level twin of these flags, so the construction lives there. *)
+let op_spec_of kind ~batch ~channels ~out_channels ~spatial ~kernel ~stride =
+  { Workload.kind; batch; channels; out_channels; spatial; kernel; stride }
+
 let make_op kind ~batch ~channels ~out_channels ~spatial ~kernel ~stride =
-  let n = batch and i = channels and o = out_channels in
-  let hw = spatial and k = kernel in
-  match kind with
-  | "c2d" ->
-      Ops.c2d ~name:"op" ~inp:"X" ~ker:"K" ~out:"Y" ~n ~i ~o ~h:hw ~w:hw
-        ~kh:k ~kw:k ~stride ()
-  | "dil" ->
-      Ops.dil ~name:"op" ~inp:"X" ~ker:"K" ~out:"Y" ~n ~i ~o ~h:hw ~w:hw
-        ~kh:k ~kw:k ~stride ()
-  | "grp" ->
-      Ops.grp ~name:"op" ~inp:"X" ~ker:"K" ~out:"Y" ~n ~i ~o ~h:hw ~w:hw
-        ~kh:k ~kw:k ~groups:2 ~stride ()
-  | "dep" ->
-      Ops.dep ~name:"op" ~inp:"X" ~ker:"K" ~out:"Y" ~n ~c:i ~h:hw ~w:hw ~kh:k
-        ~kw:k ~stride ()
-  | "c1d" ->
-      Ops.c1d ~name:"op" ~inp:"X" ~ker:"K" ~out:"Y" ~n ~i ~o ~w:(hw * hw)
-        ~kw:k ~stride ()
-  | "c3d" ->
-      Ops.c3d ~name:"op" ~inp:"X" ~ker:"K" ~out:"Y" ~n ~i ~o ~d:4 ~h:hw ~w:hw
-        ~kd:k ~kh:k ~kw:k ~stride ()
-  | "gmm" -> Ops.gmm ~name:"op" ~a:"A" ~b:"B" ~out:"C" ~m:hw ~k:i ~n:o ()
-  | "t2d" ->
-      Ops.t2d ~name:"op" ~inp:"X" ~ker:"K" ~out:"Y" ~n ~i ~o ~h:hw ~w:hw
-        ~kh:k ~kw:k ()
-  | k -> Fmt.failwith "unknown operator kind %S" k
+  Workload.op_of_spec
+    (op_spec_of kind ~batch ~channels ~out_channels ~spatial ~kernel ~stride)
 
 (* ------------------------------------------------------------------ *)
 (* tune-op                                                            *)
@@ -552,6 +533,185 @@ let obs_validate_cmd =
        ~doc:"Validate trace (JSONL) and metrics (JSON) files.")
     Term.(const run $ trace_file_arg $ metrics_file_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Serve any number of concurrent clients over a Unix-domain \
+           socket at $(docv).  Without it the daemon speaks the same \
+           framed protocol over stdin/stdout (pipe mode) — one client, \
+           deterministic, used by tests and scripts.")
+
+let journal_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "journal" ] ~docv:"DIR"
+        ~doc:
+          "Session journal directory: every admitted request and its \
+           per-round checkpoint live here, and a restarted daemon \
+           recovers interrupted sessions from it byte-identically.  \
+           Without it sessions are neither durable nor resumable.")
+
+let max_active_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "max-active" ] ~docv:"N"
+        ~doc:"Tuning sessions interleaved concurrently.")
+
+let max_queue_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "max-queue" ] ~docv:"N"
+        ~doc:
+          "Admitted-but-waiting sessions; beyond it requests are shed \
+           with a structured rejection and a retry-after hint.")
+
+let shards_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "shards" ] ~docv:"N"
+        ~doc:"Shards of the cross-session measurement store.")
+
+let deadline_rounds_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "deadline-rounds" ] ~docv:"N"
+        ~doc:
+          "Default per-request deadline in measurement rounds; on expiry \
+           the session is parked resumable at its last checkpoint and \
+           the request answered with status 'deadline'.")
+
+let kill_after_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "kill-after-rounds" ] ~docv:"N"
+        ~doc:
+          "Crash-injection hook for recovery tests: exit with code 42 \
+           after $(docv) scheduler rounds, without draining or cleaning \
+           journals.")
+
+let serve_cmd =
+  let run socket journal jobs max_active max_queue shards deadline_rounds
+      kill_after trace metrics =
+    setup_logs ();
+    setup_obs ~trace ~metrics;
+    let jobs = resolve_jobs jobs in
+    let cfg =
+      Serve.default_config ~jobs ~max_active ~max_queue ~shards
+        ?journal_dir:journal ?default_deadline_rounds:deadline_rounds ()
+    in
+    let engine = Serve.create cfg in
+    let recovered = Serve.recover engine in
+    if recovered > 0 then
+      Fmt.epr "alt serve: recovered %d interrupted session(s)@." recovered;
+    match socket with
+    | Some path -> Daemon.run_socket ?kill_after_rounds:kill_after ~path engine
+    | None -> Daemon.run_pipe ?kill_after_rounds:kill_after engine
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the tuning service: concurrent sessions, admission control \
+          with load shedding, deadlines, crash-safe recovery.")
+    Term.(
+      const run $ socket_arg $ journal_arg $ jobs_arg $ max_active_arg
+      $ max_queue_arg $ shards_arg $ deadline_rounds_arg $ kill_after_arg
+      $ trace_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* request                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let req_kind_arg =
+  Arg.(
+    value
+    & opt (enum [ ("tune", `Tune); ("compile", `Compile); ("stats", `Stats);
+                  ("shutdown", `Shutdown) ]) `Tune
+    & info [ "req" ] ~docv:"KIND"
+        ~doc:"Request kind: tune, compile, stats or shutdown.")
+
+let req_id_arg =
+  Arg.(
+    value & opt string "r0"
+    & info [ "id" ] ~docv:"ID"
+        ~doc:"Request id echoed in the response (route your replies).")
+
+let emit_arg =
+  Arg.(
+    value & flag
+    & info [ "emit" ]
+        ~doc:
+          "Print the framed request to stdout instead of sending it — \
+           concatenate emitted frames into a file to drive a pipe-mode \
+           daemon.")
+
+let request_cmd =
+  let run kind id machine budget seed fault_rate fault_seed retries watchdog
+      op_kind batch channels out_channels spatial kernel stride system preset
+      deadline socket emit =
+    setup_logs ();
+    let op =
+      op_spec_of op_kind ~batch ~channels ~out_channels ~spatial ~kernel
+        ~stride
+    in
+    let req =
+      match kind with
+      | `Tune ->
+          let spec =
+            {
+              Workload.default_tune_spec with
+              Workload.op;
+              machine = machine.Machine.name;
+              system = Tuner.system_name system;
+              budget;
+              seed;
+              fault_rate;
+              fault_seed;
+              retries;
+              watchdog_points = watchdog;
+            }
+          in
+          Proto.Tune { id; spec; deadline_rounds = deadline }
+      | `Compile ->
+          Proto.Compile { id; op; machine = machine.Machine.name; preset }
+      | `Stats -> Proto.Stats { id }
+      | `Shutdown -> Proto.Shutdown { id }
+    in
+    if emit then print_string (Proto.frame_json (Proto.request_to_json req))
+    else
+      match socket with
+      | None ->
+          Fmt.epr "request: pass --socket PATH to send, or --emit to print@.";
+          exit 2
+      | Some path -> (
+          match Daemon.request ~path req with
+          | Error msg ->
+              Fmt.epr "request: %s@." msg;
+              exit 1
+          | Ok reply -> (
+              Fmt.pr "%s@." (Json.to_string reply);
+              match Option.bind (Json.member "status" reply) Json.to_string_opt
+              with
+              | Some "ok" -> ()
+              | _ -> exit 1))
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Build one service request; send it to a daemon (--socket) or \
+          print the wire frame (--emit).")
+    Term.(
+      const run $ req_kind_arg $ req_id_arg $ machine_arg $ budget_arg
+      $ seed_arg $ fault_rate_arg $ fault_seed_arg $ retries_arg
+      $ watchdog_arg $ op_kind_arg $ batch_arg $ channels_arg
+      $ out_channels_arg $ spatial_arg $ kernel_arg $ stride_arg $ system_arg
+      $ layout_preset_arg $ deadline_rounds_arg $ socket_arg $ emit_arg)
+
 let () =
   let info =
     Cmd.info "alt" ~version:Alt.version
@@ -560,4 +720,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ tune_op_cmd; tune_model_cmd; show_op_cmd; obs_validate_cmd ]))
+          [
+            tune_op_cmd; tune_model_cmd; show_op_cmd; obs_validate_cmd;
+            serve_cmd; request_cmd;
+          ]))

@@ -61,6 +61,14 @@ module Checkpoint = Alt_tuner.Checkpoint
 module Tuner = Alt_tuner.Tuner
 module Graph_tuner = Alt_tuner.Graph_tuner
 
+(* --- tuning-as-a-service daemon --- *)
+module Workload = Alt_serve.Workload
+module Proto = Alt_serve.Proto
+module Store = Alt_serve.Store
+module Session = Alt_serve.Session
+module Serve = Alt_serve.Serve
+module Daemon = Alt_serve.Daemon
+
 (* --- model zoo --- *)
 module Zoo = Alt_models.Zoo
 

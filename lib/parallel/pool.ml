@@ -11,10 +11,17 @@
    independent of execution order and lets a raising task surface as a
    per-task outcome instead of poisoning the batch. *)
 
-type t = { jobs : int }
+type t = {
+  jobs : int;
+  lock : Mutex.t; (* guards [closed] and [active] *)
+  idle : Condition.t; (* signalled when [active] drops to 0 *)
+  mutable closed : bool; (* no new batches admitted *)
+  mutable active : int; (* batches currently executing *)
+}
 
 exception Nested_pool
 exception Task_failed of int * exn
+exception Closed
 
 (* placeholder for a slot whose task never ran; unreachable as long as the
    cursor drains the batch, but kept as a real exception so even a broken
@@ -29,13 +36,62 @@ let in_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
 let create ?(jobs = 1) () =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
-  { jobs }
+  {
+    jobs;
+    lock = Mutex.create ();
+    idle = Condition.create ();
+    closed = false;
+    active = 0;
+  }
 
 let jobs t = t.jobs
 
 let default_jobs () = Domain.recommended_domain_count ()
 
 let check_not_nested () = if Domain.DLS.get in_task then raise Nested_pool
+
+(* Batch admission.  Every mapping entry point brackets its batch with
+   [begin_batch]/[end_batch]; [shutdown] atomically flips [closed] (so the
+   admission check and the shutdown decision serialize on one mutex — a
+   racing submission either gets in before the flip and is drained, or
+   raises [Closed] after it; it can never be half-admitted) and then waits
+   for the in-flight count to reach zero. *)
+let begin_batch t =
+  Mutex.lock t.lock;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    raise Closed
+  end;
+  t.active <- t.active + 1;
+  Mutex.unlock t.lock
+
+let end_batch t =
+  Mutex.lock t.lock;
+  t.active <- t.active - 1;
+  if t.active = 0 then Condition.broadcast t.idle;
+  Mutex.unlock t.lock
+
+let wait_idle_locked t =
+  while t.active > 0 do
+    Condition.wait t.idle t.lock
+  done
+
+let drain t =
+  Mutex.lock t.lock;
+  wait_idle_locked t;
+  Mutex.unlock t.lock
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  wait_idle_locked t;
+  Mutex.unlock t.lock
+
+let is_closed t =
+  Mutex.lock t.lock;
+  let c = t.closed in
+  Mutex.unlock t.lock;
+  c
 
 (* Batch/task counters (gated: no-ops unless metrics collection is on).
    Only ever bumped on the calling domain, after a batch has joined, so
@@ -75,6 +131,8 @@ let count_slots slots =
    is what makes the trace stream independent of --jobs. *)
 let run_slots t f (xs : 'a array) : 'b slot array =
   check_not_nested ();
+  begin_batch t;
+  Fun.protect ~finally:(fun () -> end_batch t) @@ fun () ->
   let n = Array.length xs in
   let slots = Array.make n (Failed (Never_ran, Printexc.get_callstack 0)) in
   let bufs = Array.make n None in
@@ -123,6 +181,8 @@ let map_array t (f : 'a -> 'b) (xs : 'a array) : 'b array =
        later tasks never run, exactly Array.map with the exception wrapped
        as Task_failed *)
     check_not_nested ();
+    begin_batch t;
+    Fun.protect ~finally:(fun () -> end_batch t) @@ fun () ->
     let out = ref [] in
     let i = ref 0 in
     (* count tasks even when an early failure aborts the batch: exactly

@@ -45,6 +45,13 @@ exception Task_failed of int * exn
     Raised by {!map} / {!map_array} with the failing task's original
     backtrace attached. *)
 
+exception Closed
+(** Raised by every mapping entry point once {!shutdown} has closed the
+    pool.  A batch admitted before the close always runs to completion
+    first — submissions racing a shutdown either deliver their full
+    result or raise [Closed] having run nothing; no task is ever lost or
+    run twice. *)
+
 val create : ?jobs:int -> unit -> t
 (** [create ~jobs ()] makes a pool that runs at most [jobs] tasks
     concurrently ([jobs - 1] helper domains plus the calling domain).
@@ -67,3 +74,26 @@ val map_result : t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
     [Nested_pool]. *)
 
 val map_array_result : t -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+
+(** {1 Lifecycle}
+
+    Worker domains are spawned per batch and joined before every entry
+    point returns, so the pool holds no resident resources; the lifecycle
+    API exists for services that must guarantee a quiescent point — a
+    graceful daemon drain — and reject work submitted after it. *)
+
+val shutdown : t -> unit
+(** Graceful stop: atomically closes the pool to new batches, then blocks
+    until every in-flight batch has drained (all their tasks completed
+    and their domains joined).  The admission check and the close
+    serialize on one lock, so a submission racing [shutdown] either runs
+    to completion before [shutdown] returns or raises {!Closed} without
+    running any task.  Idempotent; safe to call from another domain; must
+    not be called from inside a pool task (it would deadlock on its own
+    batch). *)
+
+val drain : t -> unit
+(** Block until every in-flight batch has completed, without closing the
+    pool to new work. *)
+
+val is_closed : t -> bool

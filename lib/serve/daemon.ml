@@ -1,0 +1,247 @@
+(* Transport layer for the tuning service: owns the fds, the frame
+   decoding, and the event loop; all policy lives in Serve.
+
+   Two transports:
+
+   - pipe mode: one client over stdin/stdout (or any fd pair).  Input
+     is drained ahead of scheduling — every frame already available is
+     admitted before the next engine step — so driving the daemon from
+     a pre-written request file is fully deterministic: admission
+     decisions depend only on the file's order, never on read/step
+     interleaving.  EOF on input starts a graceful drain: admitted
+     sessions run to completion, then the loop exits.
+
+   - socket mode: a Unix-domain listener with any number of concurrent
+     clients.  Each connection carries its own frame decoder; tune
+     responses are routed back to the connection that submitted the
+     request id.  A client that disconnects mid-tune orphans its ids —
+     the session still completes (and journals) but the responses are
+     dropped.
+
+   Input is read as raw bytes straight from the fd into the incremental
+   frame decoder — never through a buffered channel, which would
+   swallow bytes that [select] can no longer see.
+
+   [kill_after_rounds] is the crash-injection hook: after that many
+   scheduler rounds the process exits immediately with code 42 — no
+   drain, no journal cleanup — simulating a crash for recovery tests. *)
+
+module Json = Alt_obs.Json
+
+let src = Logs.Src.create "alt.daemon" ~doc:"ALT tuning service transport"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let crash_exit_code = 42
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write_substring fd s off len with
+      | Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd s (off + n) (len - n)
+  end
+
+let send fd json =
+  let frame = Proto.frame_json json in
+  write_all fd frame 0 (String.length frame)
+
+let read_chunk fd =
+  let buf = Bytes.create 65536 in
+  match Unix.read fd buf 0 (Bytes.length buf) with
+  | 0 -> None
+  | n -> Some (Bytes.sub_string buf 0 n)
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> Some ""
+
+let readable ?(timeout = 0.0) fd =
+  match Unix.select [ fd ] [] [] timeout with
+  | r, _, _ -> r <> []
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+let maybe_crash engine = function
+  | Some k when Serve.rounds_stepped engine >= k ->
+      (* simulated crash: straight out, no drain, journals stay *)
+      Log.warn (fun m -> m "kill-after-rounds reached: exiting %d" crash_exit_code);
+      exit crash_exit_code
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Pipe mode                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_pipe ?kill_after_rounds ?(input = Unix.stdin) ?(output = Unix.stdout)
+    engine =
+  let frames = Proto.Frames.create () in
+  let eof = ref false in
+  let stop = ref false in
+  (* decode and dispatch everything already buffered *)
+  let rec dispatch () =
+    if !stop then ()
+    else
+      match Proto.Frames.next frames with
+      | Ok None -> ()
+      | Error msg ->
+          (* strict framing: a malformed stream is fatal — answer, then
+             treat the stream as closed and drain *)
+          send output (Proto.error_response ~id:"" ~reason:("bad frame: " ^ msg));
+          eof := true
+      | Ok (Some payload) ->
+          (match Proto.parse_request payload with
+          | Error msg -> send output (Proto.error_response ~id:"" ~reason:msg)
+          | Ok (Proto.Shutdown _ as req) ->
+              List.iter (fun (_, j) -> send output j) (Serve.submit engine req);
+              List.iter (fun (_, j) -> send output j) (Serve.shutdown engine);
+              stop := true
+          | Ok req ->
+              List.iter (fun (_, j) -> send output j) (Serve.submit engine req));
+          dispatch ()
+  in
+  (* drain the input ahead of scheduling: admit every frame already
+     available before stepping, so file-driven runs are deterministic *)
+  let rec slurp ~block =
+    if (not !eof) && (not !stop)
+       && readable ~timeout:(if block then -1.0 else 0.0) input
+    then begin
+      (match read_chunk input with
+      | None -> eof := true
+      | Some chunk -> Proto.Frames.feed frames chunk);
+      dispatch ();
+      slurp ~block:false
+    end
+  in
+  while not !stop && ((not !eof) || Serve.has_work engine) do
+    slurp ~block:(not (Serve.has_work engine));
+    if (not !stop) && Serve.has_work engine then begin
+      List.iter (fun (_, j) -> send output j) (Serve.step engine);
+      maybe_crash engine kill_after_rounds
+    end
+  done;
+  if not !stop then ignore (Serve.shutdown engine : (string * Json.t) list)
+
+(* ------------------------------------------------------------------ *)
+(* Socket mode                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type conn = { fd : Unix.file_descr; frames : Proto.Frames.t }
+
+let run_socket ?kill_after_rounds ~path engine =
+  if Sys.file_exists path then Sys.remove path;
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX path);
+  Unix.listen listener 16;
+  Log.info (fun m -> m "listening on %s" path);
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 8 in
+  let owner : (string, conn) Hashtbl.t = Hashtbl.create 16 in
+  let stop = ref false in
+  let drop (c : conn) =
+    Hashtbl.remove conns c.fd;
+    Hashtbl.iter
+      (fun id o -> if o.fd == c.fd then Hashtbl.remove owner id)
+      owner;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  in
+  let send_conn c json =
+    try send c.fd json
+    with Unix.Unix_error _ ->
+      Log.warn (fun m -> m "client write failed; dropping connection");
+      drop c
+  in
+  (* route an engine response to whichever client owns the id *)
+  let route (id, json) =
+    match Hashtbl.find_opt owner id with
+    | Some c ->
+        Hashtbl.remove owner id;
+        send_conn c json
+    | None -> Log.debug (fun m -> m "dropping response for orphan id %S" id)
+  in
+  let dispatch (c : conn) =
+    let rec go () =
+      if !stop then ()
+      else
+        match Proto.Frames.next c.frames with
+        | Ok None -> ()
+        | Error msg ->
+            send_conn c (Proto.error_response ~id:"" ~reason:("bad frame: " ^ msg));
+            drop c
+        | Ok (Some payload) ->
+            (match Proto.parse_request payload with
+            | Error msg -> send_conn c (Proto.error_response ~id:"" ~reason:msg)
+            | Ok (Proto.Shutdown _ as req) ->
+                List.iter (fun (_, j) -> send_conn c j) (Serve.submit engine req);
+                List.iter route (Serve.shutdown engine);
+                stop := true
+            | Ok (Proto.Tune { id; _ } as req) -> (
+                match Serve.submit engine req with
+                | [] -> Hashtbl.replace owner id c (* answered on completion *)
+                | responses -> List.iter (fun (_, j) -> send_conn c j) responses)
+            | Ok req ->
+                List.iter (fun (_, j) -> send_conn c j) (Serve.submit engine req));
+            if Hashtbl.mem conns c.fd then go ()
+    in
+    go ()
+  in
+  while not !stop do
+    let fds = listener :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+    let timeout = if Serve.has_work engine then 0.0 else -1.0 in
+    let ready =
+      match Unix.select fds [] [] timeout with
+      | r, _, _ -> r
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+    in
+    List.iter
+      (fun fd ->
+        if fd == listener then begin
+          let client, _ = Unix.accept listener in
+          Hashtbl.replace conns client
+            { fd = client; frames = Proto.Frames.create () }
+        end
+        else
+          match Hashtbl.find_opt conns fd with
+          | None -> ()
+          | Some c -> (
+              match read_chunk fd with
+              | None -> drop c
+              | Some chunk ->
+                  Proto.Frames.feed c.frames chunk;
+                  dispatch c))
+      ready;
+    if (not !stop) && Serve.has_work engine then begin
+      List.iter route (Serve.step engine);
+      maybe_crash engine kill_after_rounds
+    end
+  done;
+  Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) conns;
+  (try Unix.close listener with Unix.Unix_error _ -> ());
+  if Sys.file_exists path then Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Client                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* One-shot request over the socket: connect, send, await the reply to
+   our id (responses to other clients' ids cannot arrive on our
+   connection, so the first frame is ours). *)
+let request ~path (req : Proto.request) : (Json.t, string) result =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (Fmt.str "connect %s: %s" path (Unix.error_message e))
+      | () -> (
+          send fd (Proto.request_to_json req);
+          let frames = Proto.Frames.create () in
+          let rec await () =
+            match Proto.Frames.next frames with
+            | Error msg -> Error msg
+            | Ok (Some payload) -> Json.parse payload
+            | Ok None -> (
+                match read_chunk fd with
+                | None -> Error "connection closed before a reply arrived"
+                | Some chunk ->
+                    Proto.Frames.feed frames chunk;
+                    await ())
+          in
+          await ()))

@@ -1,0 +1,35 @@
+(** Transport layer for the tuning service: frame decoding, event loop,
+    and response routing.  All policy (admission, scheduling, deadlines,
+    journaling) lives in {!Serve}. *)
+
+module Json = Alt_obs.Json
+
+val crash_exit_code : int
+(** Exit code (42) used by the [kill_after_rounds] crash-injection
+    hook, so harnesses can tell a simulated crash from a failure. *)
+
+val run_pipe :
+  ?kill_after_rounds:int ->
+  ?input:Unix.file_descr ->
+  ?output:Unix.file_descr ->
+  Serve.t ->
+  unit
+(** Serve one client over an fd pair (default stdin/stdout).  Available
+    input is drained ahead of scheduling, so a run driven from a
+    pre-written request file is fully deterministic.  EOF starts a
+    graceful drain: admitted sessions finish, then the loop returns
+    (after closing the engine).  A [Shutdown] request aborts in-flight
+    sessions at their last checkpoint and returns immediately.
+    [kill_after_rounds] exits the process with {!crash_exit_code} after
+    that many engine rounds — no drain, journals kept. *)
+
+val run_socket : ?kill_after_rounds:int -> path:string -> Serve.t -> unit
+(** Serve any number of concurrent clients over a Unix-domain socket at
+    [path] (an existing socket file is replaced).  Tune responses are
+    routed to the connection that submitted the id; a disconnected
+    client's sessions still run and journal, but their responses are
+    dropped.  Returns after a [Shutdown] request. *)
+
+val request : path:string -> Proto.request -> (Json.t, string) result
+(** One-shot client: connect to the daemon at [path], send [req], and
+    block until its reply arrives. *)

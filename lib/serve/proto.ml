@@ -1,0 +1,164 @@
+(* The serve wire protocol: length-prefixed JSON frames.
+
+   One frame is
+
+     <decimal byte length of payload>\n<payload>\n
+
+   where the payload is a compact JSON document.  The length prefix
+   makes framing independent of payload content (payloads may contain
+   anything but are in practice single-line JSON); the trailing newline
+   is required and checked, so a truncated or corrupted stream surfaces
+   as a framing error instead of silently resynchronizing.  Frames are
+   capped at [max_frame] bytes: a huge or garbage length prefix is
+   rejected before any allocation, which is what keeps a malicious or
+   corrupt peer from wedging the daemon. *)
+
+module Json = Alt_obs.Json
+
+let max_frame = 1 lsl 20 (* 1 MiB *)
+
+let frame (payload : string) : string =
+  if String.length payload > max_frame then
+    invalid_arg "Proto.frame: payload exceeds max_frame";
+  Printf.sprintf "%d\n%s\n" (String.length payload) payload
+
+let frame_json (j : Json.t) : string = frame (Json.to_string j)
+
+(* Incremental frame decoder: feed raw bytes, pull complete payloads.
+   The buffer only ever holds partial frames, so memory is bounded by
+   [max_frame] plus one read chunk. *)
+module Frames = struct
+  type t = { mutable buf : string }
+
+  let create () = { buf = "" }
+  let feed t s = if s <> "" then t.buf <- t.buf ^ s
+  let pending t = String.length t.buf
+
+  (* Ok (Some payload): one complete frame consumed.
+     Ok None: need more bytes.
+     Error msg: the stream is corrupt; the connection must be dropped
+     (there is no way to resynchronize a length-prefixed stream). *)
+  let next t : (string option, string) result =
+    match String.index_opt t.buf '\n' with
+    | None ->
+        if String.length t.buf > 20 then Error "frame length prefix too long"
+        else Ok None
+    | Some nl -> (
+        let prefix = String.sub t.buf 0 nl in
+        match int_of_string_opt prefix with
+        | None -> Error (Printf.sprintf "bad frame length prefix %S" prefix)
+        | Some len when len < 0 || len > max_frame ->
+            Error (Printf.sprintf "frame length %d out of bounds" len)
+        | Some len ->
+            let total = nl + 1 + len + 1 in
+            if String.length t.buf < total then Ok None
+            else if t.buf.[total - 1] <> '\n' then
+              Error "frame missing trailing newline"
+            else begin
+              let payload = String.sub t.buf (nl + 1) len in
+              t.buf <-
+                String.sub t.buf total (String.length t.buf - total);
+              Ok (Some payload)
+            end)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type request =
+  | Tune of {
+      id : string;
+      spec : Workload.tune_spec;
+      deadline_rounds : int option;
+    }
+  | Compile of {
+      id : string;
+      op : Workload.op_spec;
+      machine : string;
+      preset : string;
+    }
+  | Stats of { id : string }
+  | Shutdown of { id : string }
+
+let request_id = function
+  | Tune { id; _ } | Compile { id; _ } | Stats { id } | Shutdown { id } -> id
+
+let request_to_json (r : request) : Json.t =
+  match r with
+  | Tune { id; spec; deadline_rounds } ->
+      Json.Obj
+        ([
+           ("kind", Json.String "tune");
+           ("id", Json.String id);
+           ("spec", Workload.tune_spec_to_json spec);
+         ]
+        @
+        match deadline_rounds with
+        | Some d -> [ ("deadline_rounds", Json.Int d) ]
+        | None -> [])
+  | Compile { id; op; machine; preset } ->
+      Json.Obj
+        [
+          ("kind", Json.String "compile");
+          ("id", Json.String id);
+          ("op", Workload.op_spec_to_json op);
+          ("machine", Json.String machine);
+          ("preset", Json.String preset);
+        ]
+  | Stats { id } ->
+      Json.Obj [ ("kind", Json.String "stats"); ("id", Json.String id) ]
+  | Shutdown { id } ->
+      Json.Obj [ ("kind", Json.String "shutdown"); ("id", Json.String id) ]
+
+let request_of_json (j : Json.t) : (request, string) result =
+  let id =
+    match Option.bind (Json.member "id" j) Json.to_string_opt with
+    | Some id -> id
+    | None -> "" (* tolerated: responses just carry the empty id back *)
+  in
+  match Option.bind (Json.member "kind" j) Json.to_string_opt with
+  | Some "tune" -> (
+      let spec_json =
+        match Json.member "spec" j with Some s -> s | None -> Json.Obj []
+      in
+      match Workload.tune_spec_of_json spec_json with
+      | Error e -> Error e
+      | Ok spec ->
+          let deadline_rounds =
+            Option.bind (Json.member "deadline_rounds" j) Json.to_int_opt
+          in
+          (match deadline_rounds with
+          | Some d when d < 1 -> Error "deadline_rounds must be >= 1"
+          | _ -> Ok (Tune { id; spec; deadline_rounds })))
+  | Some "compile" -> (
+      let op_json =
+        match Json.member "op" j with Some o -> o | None -> Json.Obj []
+      in
+      match Workload.op_spec_of_json op_json with
+      | Error e -> Error e
+      | Ok op ->
+          let machine = Workload.string_field j "machine" "intel-cpu" in
+          let preset = Workload.string_field j "preset" "alt" in
+          if Workload.machine_of_name machine = None then
+            Error (Fmt.str "unknown machine %S" machine)
+          else Ok (Compile { id; op; machine; preset }))
+  | Some "stats" -> Ok (Stats { id })
+  | Some "shutdown" -> Ok (Shutdown { id })
+  | Some k -> Error (Fmt.str "unknown request kind %S" k)
+  | None -> Error "request missing \"kind\""
+
+let parse_request (payload : string) : (request, string) result =
+  match Json.parse payload with
+  | Error msg -> Error ("malformed JSON: " ^ msg)
+  | Ok j -> request_of_json j
+
+(* Structured error response for a request that could not be parsed or
+   validated; [id] is best-effort recovered from the payload. *)
+let error_response ~id ~reason : Json.t =
+  Json.Obj
+    [
+      ("id", Json.String id);
+      ("status", Json.String "error");
+      ("reason", Json.String reason);
+    ]

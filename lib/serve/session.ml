@@ -1,0 +1,57 @@
+(* Cooperative session fibers over OCaml 5 effects.
+
+   A tuning run becomes a daemon session by running it as a fiber that
+   performs [Yield] after every measurement round (wired through the
+   tuner's [on_round] hook, which fires *after* the round's checkpoint
+   is written — so every suspension point is durable).  The scheduler
+   regains control at each yield and round-robins many sessions over one
+   domain: concurrency without threads, and fully deterministic — the
+   interleaving is a pure function of the admission order and each
+   session's round count.
+
+   The suspended continuation is exposed as a pair of closures:
+   [resume] continues the fiber to its next step, [abort] injects an
+   exception at the suspension point (deadline expiry, graceful
+   shutdown).  Aborting runs the fiber's cleanup ([Fun.protect]
+   finalizers) and surfaces the exception as a [Raised] step, so the
+   scheduler handles "killed" and "crashed" sessions through one path.
+   Continuations are one-shot: exactly one of [resume]/[abort] may be
+   called, once. *)
+
+module Tuner = Alt_tuner.Tuner
+
+type _ Effect.t += Yield : int -> unit Effect.t
+
+exception Interrupted
+exception Deadline_exceeded
+
+type step =
+  | Finished of Tuner.result
+  | Raised of exn
+  | Yielded of int * paused
+
+and paused = { resume : unit -> step; abort : exn -> step }
+
+let handler : (Tuner.result, step) Effect.Deep.handler =
+  {
+    Effect.Deep.retc = (fun r -> Finished r);
+    exnc = (fun e -> Raised e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Yield rounds ->
+            Some
+              (fun (k : (a, step) Effect.Deep.continuation) ->
+                Yielded
+                  ( rounds,
+                    {
+                      resume = (fun () -> Effect.Deep.continue k ());
+                      abort = (fun e -> Effect.Deep.discontinue k e);
+                    } ))
+        | _ -> None);
+  }
+
+let start (thunk : unit -> Tuner.result) : step =
+  Effect.Deep.match_with thunk () handler
+
+let yield rounds = Effect.perform (Yield rounds)

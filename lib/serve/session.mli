@@ -1,0 +1,36 @@
+(** Cooperative session fibers over OCaml 5 effects: a tuning run
+    yields after every measurement round (each one checkpointed before
+    the yield, so every suspension point is durable) and the scheduler
+    round-robins many sessions over one domain — deterministic
+    concurrency without threads. *)
+
+module Tuner = Alt_tuner.Tuner
+
+type _ Effect.t += Yield : int -> unit Effect.t
+
+exception Interrupted
+(** Injected by graceful shutdown: the session stops at its last
+    checkpoint and is resumable from the journal. *)
+
+exception Deadline_exceeded
+(** Injected when a session exhausts its per-request round deadline. *)
+
+type step =
+  | Finished of Tuner.result
+  | Raised of exn
+      (** the fiber raised — a genuine failure, or an injected
+          {!Interrupted}/{!Deadline_exceeded} *)
+  | Yielded of int * paused
+      (** suspended after round [n]; exactly one of the [paused]
+          closures may be called, once *)
+
+and paused = { resume : unit -> step; abort : exn -> step }
+
+val start : (unit -> Tuner.result) -> step
+(** Run a tuning thunk as a fiber until its first yield (or
+    completion).  The thunk must perform {!yield} from the tuner's
+    [on_round] hook — see {!yield}. *)
+
+val yield : int -> unit
+(** [yield rounds] suspends the calling fiber, reporting its round
+    count.  Must only be performed under {!start}. *)

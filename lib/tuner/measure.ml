@@ -82,6 +82,19 @@ type outcome =
   | Timeout
   | Quarantined
 
+(* Hooks into a measurement store shared across tasks (the serve daemon's
+   sharded cache/quarantine).  Imported entries land in the task's own
+   tables before a batch's misses are computed, exactly like a checkpoint
+   restore, so sharing is trajectory-neutral: hits still charge budget,
+   and a candidate quarantined by one session is answered from quarantine
+   by every other session in the same measurement context. *)
+type shared_store = {
+  s_find_result : string -> Profiler.result option;
+  s_publish_result : string -> Profiler.result -> unit;
+  s_find_quarantine : string -> string option;
+  s_publish_quarantine : string -> string -> unit;
+}
+
 type task = {
   op : Opdef.t;
   fused : Opdef.t list;
@@ -105,6 +118,7 @@ type task = {
   fcache : (string, float array) Hashtbl.t;
       (* candidate digest -> cost-model feature vector *)
   lstats : lower_stats;
+  shared : shared_store option; (* cross-task result/quarantine sharing *)
 }
 
 (* All external input tensors of the task (op inputs + fused extras). *)
@@ -125,7 +139,7 @@ let task_inputs (op : Opdef.t) (fused : Opdef.t list) =
 let make_task ?(fused = []) ?(max_points = 40_000) ?(seed = 11)
     ?(faults = Fault.none) ?(retries = 2) ?watchdog_points
     ?(fast = Profiler.fast_sim_enabled ()) ?(memo = true)
-    ?(backend = Runtime.Sim) ~machine op =
+    ?(backend = Runtime.Sim) ?shared ~machine op =
   if retries < 0 then invalid_arg "Measure.make_task: retries must be >= 0";
   let feeds =
     List.mapi
@@ -154,6 +168,7 @@ let make_task ?(fused = []) ?(max_points = 40_000) ?(seed = 11)
     lcache = Hashtbl.create 256;
     fcache = Hashtbl.create 256;
     lstats = { prog_hits = 0; prog_misses = 0; feat_hits = 0; feat_misses = 0 };
+    shared;
   }
 
 let cache_stats t = t.stats
@@ -513,6 +528,26 @@ let measure_programs ?pool ?(on_result = fun _ _ -> ()) (t : task)
       (Option.map (fun p -> Digest.to_hex (Digest.string (program_key p))))
       progs
   in
+  (* import shared-store entries for this batch's keys before computing
+     misses — indistinguishable from a checkpoint restore: an imported
+     result is served as a cache hit (budget charged), an imported
+     quarantine entry answers without simulating *)
+  (match t.shared with
+  | None -> ()
+  | Some s ->
+      Array.iter
+        (function
+          | Some key
+            when (not (Hashtbl.mem t.cache key))
+                 && not (Hashtbl.mem t.quarantine key) -> (
+              match s.s_find_result key with
+              | Some r -> Hashtbl.replace t.cache key r
+              | None -> (
+                  match s.s_find_quarantine key with
+                  | Some reason -> Hashtbl.replace t.quarantine key reason
+                  | None -> ()))
+          | _ -> ())
+        keys);
   (* cache misses needing a fresh simulation, deduplicated within the
      batch, in submission order; quarantined candidates are answered from
      the quarantine table and never simulated again *)
@@ -610,11 +645,18 @@ let measure_programs ?pool ?(on_result = fun _ _ -> ()) (t : task)
                   | Some r ->
                       t.stats.misses <- t.stats.misses + 1;
                       Hashtbl.replace t.cache key r;
+                      (match t.shared with
+                      | Some s -> s.s_publish_result key r
+                      | None -> ());
                       Ok r
                   | None ->
                       let o = Hashtbl.find terminal key in
                       t.stats.misses <- t.stats.misses + 1;
-                      Hashtbl.replace t.quarantine key (quarantine_reason o);
+                      let reason = quarantine_reason o in
+                      Hashtbl.replace t.quarantine key reason;
+                      (match t.shared with
+                      | Some s -> s.s_publish_quarantine key reason
+                      | None -> ());
                       t.fstats.quarantined <- t.fstats.quarantined + 1;
                       o)
           in

@@ -57,6 +57,27 @@ type outcome =
       (** the candidate was already quarantined by an earlier terminal
           failure; answered without simulating *)
 
+type shared_store = {
+  s_find_result : string -> Profiler.result option;
+  s_publish_result : string -> Profiler.result -> unit;
+  s_find_quarantine : string -> string option;
+  s_publish_quarantine : string -> string -> unit;
+}
+(** Hooks into a measurement store shared across tasks (the serve
+    daemon's sharded cache + quarantine).  Before a batch computes its
+    misses, each key is looked up in the store and an entry found there
+    is imported into the task's own tables — indistinguishable from a
+    checkpoint restore, so sharing is trajectory-neutral: imported
+    results are served as cache hits (budget still charged) and a
+    candidate quarantined by one session is answered from quarantine by
+    every other session instead of being re-measured.  Fresh results and
+    fresh quarantine decisions are published back.  The implementations
+    must be thread-safe when tasks on different domains share one store;
+    correctness requires all sharing tasks to agree on everything in
+    {!fingerprint} except [seed]/[tag] — the store is keyed by
+    measurement context in [lib/serve].  Like [fast]/[memo], [shared] is
+    deliberately excluded from {!fingerprint}. *)
+
 type task = {
   op : Opdef.t;
   fused : Opdef.t list;
@@ -93,12 +114,15 @@ type task = {
   fcache : (string, float array) Hashtbl.t;
       (** candidate digest -> feature vector; internal *)
   lstats : lower_stats;
+  shared : shared_store option;
+      (** cross-task result/quarantine sharing (see {!shared_store});
+          trajectory-neutral, excluded from {!fingerprint} *)
 }
 
 val make_task :
   ?fused:Opdef.t list -> ?max_points:int -> ?seed:int -> ?faults:Fault.t ->
   ?retries:int -> ?watchdog_points:int -> ?fast:bool -> ?memo:bool ->
-  ?backend:Runtime.backend ->
+  ?backend:Runtime.backend -> ?shared:shared_store ->
   machine:Machine.t -> Opdef.t -> task
 (** [retries] defaults to 2.  With the default [faults] ({!Fault.none})
     and no [watchdog_points], the measurement pipeline is byte-identical

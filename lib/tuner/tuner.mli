@@ -7,6 +7,9 @@
     tuning trajectory — [best_latency], [best_choice], [best_schedule],
     [history], [spent] — is byte-identical for every [jobs] value at a
     fixed seed; only wall-clock time changes (see DESIGN.md §7).
+    [?pool] supplies an existing measurement pool instead (the serve
+    daemon shares one pool across all sessions); when given, [?jobs] is
+    ignored.  Trajectories are identical either way.
 
     Every tuner also takes the fault-tolerance/checkpoint triple (see
     DESIGN.md §8):
@@ -46,7 +49,7 @@ val actor_input_dim : int
 (** Input width of the layout PPO actor (state embedding + knob features). *)
 
 val tune_alt :
-  ?seed:int -> ?jobs:int -> ?levels:int ->
+  ?seed:int -> ?jobs:int -> ?pool:Alt_parallel.Pool.t -> ?levels:int ->
   ?layout_explorer:[ `Random | `Ppo_fresh | `Ppo of Ppo.t ] ->
   ?seed_layouts:bool -> ?warm_start:bool -> ?checkpoint:string ->
   ?resume:string -> ?on_round:(int -> unit) ->
@@ -64,7 +67,8 @@ val tune_alt :
     trajectories are bit-identical to the pre-warm-start tuner. *)
 
 val tune_loop_only :
-  ?seed:int -> ?jobs:int -> ?warm_start:bool -> ?checkpoint:string ->
+  ?seed:int -> ?jobs:int -> ?pool:Alt_parallel.Pool.t -> ?warm_start:bool ->
+  ?checkpoint:string ->
   ?resume:string -> ?on_round:(int -> unit) -> explorer:loop_explorer ->
   budget:int -> layouts:Propagate.choice list -> Measure.task -> result
 (** Loop tuning over fixed layout candidates, splitting the budget across
@@ -83,12 +87,12 @@ type system =
 val system_name : system -> string
 
 val tune_vendor :
-  ?seed:int -> ?jobs:int -> ?checkpoint:string -> ?resume:string ->
-  ?on_round:(int -> unit) -> Measure.task -> result
+  ?seed:int -> ?jobs:int -> ?pool:Alt_parallel.Pool.t -> ?checkpoint:string ->
+  ?resume:string -> ?on_round:(int -> unit) -> Measure.task -> result
 (** Vendor-library stand-in: a small set of expert schedules on a fixed
     blocked layout; no search. *)
 
 val tune_op :
-  ?seed:int -> ?jobs:int -> ?warm_start:bool -> ?checkpoint:string ->
-  ?resume:string -> ?on_round:(int -> unit) -> system:system -> budget:int ->
-  Measure.task -> result
+  ?seed:int -> ?jobs:int -> ?pool:Alt_parallel.Pool.t -> ?warm_start:bool ->
+  ?checkpoint:string -> ?resume:string -> ?on_round:(int -> unit) ->
+  system:system -> budget:int -> Measure.task -> result

@@ -128,6 +128,89 @@ let test_bad_jobs_rejected () =
   | _ -> Alcotest.fail "expected Invalid_argument"
   | exception Invalid_argument _ -> ()
 
+(* Shutdown racing a submitter: every batch either delivers its full
+   result (and its side effects are included in the count observed when
+   [shutdown] returns) or raises [Closed] having run nothing — no task
+   lost, none duplicated, and the pool is quiescent once [shutdown]
+   returns. *)
+let test_shutdown_races_submission () =
+  let p = Pool.create ~jobs:3 () in
+  let effects = Atomic.make 0 in
+  let delivered = Atomic.make 0 in
+  let batches = Atomic.make 0 in
+  let submitter =
+    Domain.spawn (fun () ->
+        let rec loop () =
+          match
+            Pool.map p
+              (fun i ->
+                Atomic.incr effects;
+                i * i)
+              (List.init 8 Fun.id)
+          with
+          | ys ->
+              Atomic.fetch_and_add delivered (List.length ys) |> ignore;
+              Atomic.incr batches;
+              loop ()
+          | exception Pool.Closed -> ()
+        in
+        loop ())
+  in
+  (* let some batches land before pulling the plug *)
+  while Atomic.get batches < 3 do
+    Domain.cpu_relax ()
+  done;
+  Pool.shutdown p;
+  let at_shutdown = Atomic.get effects in
+  Domain.join submitter;
+  Alcotest.(check bool) "closed" true (Pool.is_closed p);
+  (* quiescence: no task ran after shutdown returned *)
+  Alcotest.(check int) "no task ran after shutdown" at_shutdown
+    (Atomic.get effects);
+  (* conservation: each task effect corresponds to exactly one delivered
+     result — nothing lost, nothing duplicated *)
+  Alcotest.(check int) "delivered = executed" (Atomic.get effects)
+    (Atomic.get delivered);
+  (* post-shutdown submissions are rejected without running anything, on
+     both the parallel and the serial (jobs=1-or-singleton) paths *)
+  (match Pool.map p (fun i -> Atomic.incr effects; i) [ 1; 2 ] with
+  | _ -> Alcotest.fail "expected Closed"
+  | exception Pool.Closed -> ());
+  (match Pool.map p (fun i -> Atomic.incr effects; i) [ 1 ] with
+  | _ -> Alcotest.fail "expected Closed (serial path)"
+  | exception Pool.Closed -> ());
+  Alcotest.(check int) "rejected submissions ran nothing" at_shutdown
+    (Atomic.get effects);
+  (* idempotent *)
+  Pool.shutdown p
+
+let test_drain_waits_without_closing () =
+  let p = Pool.create ~jobs:2 () in
+  let started = Atomic.make false in
+  let done_ = Atomic.make false in
+  let worker =
+    Domain.spawn (fun () ->
+        Pool.map p
+          (fun i ->
+            Atomic.set started true;
+            Unix.sleepf 0.05;
+            Atomic.set done_ true;
+            i)
+          [ 0 ]
+        |> ignore)
+  in
+  (* wait until the batch is actually in flight, then drain must block
+     until it completes *)
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  Pool.drain p;
+  Alcotest.(check bool) "drain waited for the batch" true (Atomic.get done_);
+  Domain.join worker;
+  Alcotest.(check bool) "still open" false (Pool.is_closed p);
+  Alcotest.(check (list int)) "still accepts work" [ 42 ]
+    (Pool.map p Fun.id [ 42 ])
+
 let prop_pool_map_is_list_map =
   QCheck2.Test.make ~count:100 ~name:"Pool.map = List.map for every jobs"
     QCheck2.Gen.(pair (int_range 1 6) (small_list int))
@@ -270,6 +353,10 @@ let () =
             test_size_one_degenerates;
           Alcotest.test_case "nested use rejected" `Quick test_nested_rejected;
           Alcotest.test_case "jobs < 1 rejected" `Quick test_bad_jobs_rejected;
+          Alcotest.test_case "shutdown races submission" `Quick
+            test_shutdown_races_submission;
+          Alcotest.test_case "drain waits without closing" `Quick
+            test_drain_waits_without_closing;
         ] );
       qsuite "pool-props" [ prop_pool_map_is_list_map ];
       qsuite "cache-props"
