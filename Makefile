@@ -1,7 +1,8 @@
 # Tier-1 gate: everything builds, every test suite passes.
 .PHONY: all check test bench bench-profiler bench-profiler-smoke \
 	bench-tuner bench-tuner-smoke fault-smoke obs-smoke exec-smoke \
-	serve-smoke bench-crossval bench-crossval-smoke clean
+	serve-smoke bench-crossval bench-crossval-smoke bench-e2e \
+	bench-e2e-smoke clean
 
 all:
 	dune build @all
@@ -78,8 +79,19 @@ bench-crossval:
 bench-crossval-smoke:
 	ALT_BENCH_SCALE=smoke dune exec bench/bench_crossval.exe
 
+# end-to-end scheduler benchmark: tunes the zoo twice at equal global
+# budget (static split vs gradient scheduler + cost-model transfer),
+# writes BENCH_e2e.json with per-model latency-vs-trials curves, and
+# fails if gradient loses the zoo total to static
+# (ALT_BENCH_SCALE=smoke|quick|full)
+bench-e2e:
+	dune exec bench/bench_e2e.exe
+
+bench-e2e-smoke:
+	ALT_BENCH_SCALE=smoke dune exec bench/bench_e2e.exe
+
 check: all test bench-profiler-smoke bench-tuner-smoke fault-smoke \
-	obs-smoke exec-smoke serve-smoke bench-crossval-smoke
+	obs-smoke exec-smoke serve-smoke bench-crossval-smoke bench-e2e-smoke
 
 # quick-scale regeneration of the paper's tables and figures
 bench:

@@ -356,10 +356,36 @@ let gsystem_arg =
     & info [ "system" ] ~docv:"SYS"
         ~doc:"System: vendor, autotvm, ansor, alt, alt-ol, alt-wp.")
 
+let zoo_spec model ~batch =
+  match model with
+  | "r18" -> Zoo.resnet18 ~batch ()
+  | "mv2" -> Zoo.mobilenet_v2 ~batch ()
+  | "bb" -> Zoo.bert_base ~batch ()
+  | "bt" -> Zoo.bert_tiny ~batch ()
+  | "r3d" -> Zoo.resnet3d_18 ~batch ()
+  | m -> Fmt.failwith "unknown model %S" m
+
+let policy_enum =
+  [
+    ("gradient", Scheduler.Gradient); ("roundrobin", Scheduler.Roundrobin);
+    ("static", Scheduler.Static);
+  ]
+
+let scheduler_arg =
+  Arg.(
+    value
+    & opt (some (enum policy_enum)) None
+    & info [ "scheduler" ] ~docv:"POLICY"
+        ~doc:
+          "Trial allocation policy: gradient (expected-gain with \
+           ε-round-robin heartbeat), roundrobin, or static (the fixed \
+           per-task split).  Without it, tune-model keeps the legacy \
+           sequential path.")
+
 let tune_model_cmd =
-  let run machine budget seed jobs model batch system fault_rate fault_seed
-      retries fast backend_sel exec_warmup exec_repeats warm_start trace
-      metrics =
+  let run machine budget seed jobs model batch system scheduler fault_rate
+      fault_seed retries fast backend_sel exec_warmup exec_repeats warm_start
+      trace metrics =
     setup_logs ();
     setup_obs ~trace ~metrics;
     let jobs = resolve_jobs jobs in
@@ -367,21 +393,13 @@ let tune_model_cmd =
     let backend =
       backend_of backend_sel ~warmup:exec_warmup ~repeats:exec_repeats
     in
-    let spec =
-      match model with
-      | "r18" -> Zoo.resnet18 ~batch ()
-      | "mv2" -> Zoo.mobilenet_v2 ~batch ()
-      | "bb" -> Zoo.bert_base ~batch ()
-      | "bt" -> Zoo.bert_tiny ~batch ()
-      | "r3d" -> Zoo.resnet3d_18 ~batch ()
-      | m -> Fmt.failwith "unknown model %S" m
-    in
+    let spec = zoo_spec model ~batch in
     Fmt.pr "tuning %s with %s on %a (budget %d)...@." spec.Zoo.name
       (Graph_tuner.gsystem_name system)
       Machine.pp machine budget;
     let tg =
       Graph_tuner.tune_graph ~seed ~jobs ~faults ~retries ~fast ~backend
-        ~warm_start ~system ~machine ~budget spec.Zoo.graph
+        ~warm_start ?scheduler ~system ~machine ~budget spec.Zoo.graph
     in
     let r = Graph_tuner.run tg ~machine in
     Fmt.pr "end-to-end latency: %.4f ms@." r.Compile.latency_ms;
@@ -394,9 +412,95 @@ let tune_model_cmd =
   Cmd.v (Cmd.info "tune-model" ~doc:"Tune and run an end-to-end model.")
     Term.(
       const run $ machine_arg $ budget_arg $ seed_arg $ jobs_arg $ model_arg
-      $ batch_arg $ gsystem_arg $ fault_rate_arg $ fault_seed_arg
-      $ retries_arg $ fast_arg $ backend_arg $ exec_warmup_arg
-      $ exec_repeats_arg $ warm_start_arg $ trace_arg $ metrics_arg)
+      $ batch_arg $ gsystem_arg $ scheduler_arg $ fault_rate_arg
+      $ fault_seed_arg $ retries_arg $ fast_arg $ backend_arg
+      $ exec_warmup_arg $ exec_repeats_arg $ warm_start_arg $ trace_arg
+      $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* schedule                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let models_arg =
+  Arg.(
+    value
+    & opt string "r18,mv2,bt,r3d"
+    & info [ "models" ] ~docv:"LIST"
+        ~doc:
+          "Comma-separated zoo to tune under one global budget \
+           (r18, mv2, bb, bt, r3d).")
+
+let transfer_arg =
+  Arg.(
+    value
+    & opt (some bool) None
+    & info [ "transfer" ] ~docv:"BOOL"
+        ~doc:
+          "Cross-task cost-model transfer: warm-start a task's first GBDT \
+           fit from the latest ensemble of a similar task.  Defaults to \
+           true under the gradient policy, false otherwise.")
+
+let schedule_cmd =
+  let run machine budget seed jobs models batch system policy transfer
+      fault_rate fault_seed retries fast warm_start trace metrics =
+    setup_logs ();
+    setup_obs ~trace ~metrics;
+    let jobs = resolve_jobs jobs in
+    let faults = faults_of ~rate:fault_rate ~seed:fault_seed in
+    let policy = Option.value policy ~default:Scheduler.Gradient in
+    let specs =
+      String.split_on_char ',' models
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun m -> zoo_spec (String.trim m) ~batch)
+    in
+    let graphs = List.map (fun s -> (s.Zoo.name, s.Zoo.graph)) specs in
+    Fmt.pr "scheduling %d models (%s) with %s/%s on %a, global budget %d...@."
+      (List.length graphs)
+      (String.concat ", " (List.map fst graphs))
+      (Graph_tuner.gsystem_name system)
+      (Scheduler.policy_name policy)
+      Machine.pp machine budget;
+    let report, tuned =
+      Graph_tuner.tune_models ~seed ~jobs ~faults ~retries ~fast ~warm_start
+        ?transfer ~policy ~system ~machine ~budget graphs
+    in
+    Fmt.pr
+      "tasks: %d unique (share %d), %d/%d trials in %d picks (%d \
+       ε-round-robin)@."
+      (List.length report.Scheduler.tasks)
+      report.Scheduler.share report.Scheduler.spent report.Scheduler.budget
+      report.Scheduler.picks report.Scheduler.eps_picks;
+    if report.Scheduler.transfer then
+      Fmt.pr "transfer: %d of %d tasks warm-started from a donor model@."
+        (List.length
+           (List.filter
+              (fun (t : Scheduler.task_report) -> t.Scheduler.transferred)
+              report.Scheduler.tasks))
+        (List.length report.Scheduler.tasks);
+    List.iter
+      (fun (name, tg) ->
+        let r = Graph_tuner.run tg ~machine in
+        let curve =
+          Option.value ~default:[]
+            (List.assoc_opt name report.Scheduler.curves)
+        in
+        Fmt.pr
+          "%-24s end-to-end %.4f ms  (%d tasks, %d trials, %d curve \
+           points)@."
+          name r.Compile.latency_ms tg.Graph_tuner.tasks_tuned
+          tg.Graph_tuner.measurements (List.length curve))
+      tuned
+  in
+  Cmd.v
+    (Cmd.info "schedule"
+       ~doc:
+         "Tune a whole model zoo under one global trial budget with the \
+          gradient task scheduler.")
+    Term.(
+      const run $ machine_arg $ budget_arg $ seed_arg $ jobs_arg $ models_arg
+      $ batch_arg $ gsystem_arg $ scheduler_arg $ transfer_arg
+      $ fault_rate_arg $ fault_seed_arg $ retries_arg $ fast_arg
+      $ warm_start_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* show-op                                                            *)
@@ -721,6 +825,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            tune_op_cmd; tune_model_cmd; show_op_cmd; obs_validate_cmd;
-            serve_cmd; request_cmd;
+            tune_op_cmd; tune_model_cmd; schedule_cmd; show_op_cmd;
+            obs_validate_cmd; serve_cmd; request_cmd;
           ]))

@@ -59,6 +59,8 @@ module Loopspace = Alt_tuner.Loopspace
 module Measure = Alt_tuner.Measure
 module Checkpoint = Alt_tuner.Checkpoint
 module Tuner = Alt_tuner.Tuner
+module Taskset = Alt_tuner.Taskset
+module Scheduler = Alt_tuner.Scheduler
 module Graph_tuner = Alt_tuner.Graph_tuner
 
 (* --- tuning-as-a-service daemon --- *)
@@ -92,12 +94,25 @@ let tune_operator ?(machine = Machine.intel_cpu) ?(budget = 200)
     ~loop_budget:(budget * 7 / 10)
     task
 
-(** Tune and compile an end-to-end model. *)
+(** Tune and compile an end-to-end model.  [scheduler] routes the tuning
+    through the gradient task scheduler (DESIGN.md §14) instead of the
+    default fixed per-task budget split. *)
 let compile_model ?(system = Graph_tuner.Galt) ?(machine = Machine.intel_cpu)
     ?(budget = 400) ?max_points ?seed ?jobs ?levels ?faults ?retries
-    ?backend ?warm_start (g : Graph.t) : Graph_tuner.tuned_graph =
+    ?backend ?warm_start ?scheduler (g : Graph.t) : Graph_tuner.tuned_graph =
   Graph_tuner.tune_graph ?seed ?jobs ?levels ?max_points ?faults ?retries
-    ?backend ?warm_start ~system ~machine ~budget g
+    ?backend ?warm_start ?scheduler ~system ~machine ~budget g
+
+(** Tune a whole zoo of named models under one global trial budget with
+    the gradient task scheduler (DESIGN.md §14), sharing tuning runs and
+    cost models across structurally identical tasks. *)
+let tune_zoo ?(system = Graph_tuner.Galt) ?(machine = Machine.intel_cpu)
+    ?(budget = 400) ?(policy = Scheduler.Gradient) ?max_points ?seed ?jobs
+    ?levels ?faults ?retries ?backend ?warm_start ?transfer
+    (graphs : (string * Graph.t) list) :
+    Scheduler.report * (string * Graph_tuner.tuned_graph) list =
+  Graph_tuner.tune_models ?seed ?jobs ?levels ?max_points ?faults ?retries
+    ?backend ?warm_start ?transfer ~policy ~system ~machine ~budget graphs
 
 (** Execute a tuned model on its machine model and report the simulated
     end-to-end latency. *)

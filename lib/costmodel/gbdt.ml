@@ -100,13 +100,24 @@ let flatten (tree : tree) : flat =
   ignore (go tree : int);
   { ffeat; fthresh; fleft; fright }
 
+(* Below this batch size the tree-major walk loses to plain per-sample
+   prediction: its per-tree setup (loading the four flat arrays, restarting
+   the candidate loop) is amortized over too few candidates, while the
+   pointer-chasing recursive walk fits small batches entirely in L1 —
+   BENCH_tuner.json's rank_speedup was 0.83 at 32 candidates before the
+   cutoff.  48 is the measured crossover on the reference box; both paths
+   are bit-equal, so the cutoff is a pure throughput knob. *)
+let batch_cutoff = 48
+
 (* Tree-major: each flat's arrays stay in cache across the whole batch.
    Per candidate the accumulation order and expressions mirror [predict]
    exactly (base, then [acc +. shrinkage *. tree] in boosting order), so
    the two are bit-equal on every input — the tuner's ranking pass may
-   use either. *)
+   use either.  Batches under [batch_cutoff] take the per-sample path. *)
 let predict_batch t (xs : float array array) : float array =
   let n = Array.length xs in
+  if n < batch_cutoff then Array.map (predict t) xs
+  else begin
   let out = Array.make n t.base in
   let shrinkage = t.shrinkage in
   Array.iter
@@ -123,6 +134,7 @@ let predict_batch t (xs : float array array) : float array =
       done)
     t.flats;
   out
+  end
 
 let mean a idx =
   if Array.length idx = 0 then 0.0

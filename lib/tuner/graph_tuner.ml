@@ -7,7 +7,12 @@
    chain that will be fused after it, so fusion conflicts are visible to
    the tuner.  The resulting per-operator layout choices are propagated
    (Algorithm 1), conversions are inserted where the constraints demand,
-   and the compiled graph is executed for the end-to-end latency. *)
+   and the compiled graph is executed for the end-to-end latency.
+
+   Task extraction/dedup lives in Taskset; the fixed per-task budget split
+   is the [Scheduler.Static] policy, and [tune_models] runs a whole zoo of
+   graphs under one global budget with any scheduling policy
+   (DESIGN.md §14). *)
 
 module Shape = Alt_tensor.Shape
 module Layout = Alt_tensor.Layout
@@ -34,39 +39,9 @@ let gsystem_name = function
   | Galt_ol -> "alt-ol"
   | Galt_wp -> "alt-wp"
 
-(* Structural signature of a tuning task for deduplication. *)
-let signature (op : Opdef.t) (fused : Opdef.t list) : string =
-  let kind_tag =
-    match op.Opdef.kind with
-    | Opdef.Conv c ->
-        Fmt.str "conv:%s"
-          (String.concat ","
-             (List.map
-                (fun (s : Opdef.conv_spatial) ->
-                  Fmt.str "%d.%d.%d" s.Opdef.kernel s.Opdef.stride s.Opdef.dilation)
-                c.spatials))
-    | Opdef.Matmul m -> if m.batched then "bmm" else "gmm"
-    | Opdef.Simple -> "simple"
-  in
-  Fmt.str "%s|out=%a|in=%s|chain=%d" kind_tag Shape.pp op.Opdef.out_shape
-    (String.concat ";"
-       (List.map (fun (_, s) -> Shape.to_string s) op.Opdef.inputs))
-    (List.length fused)
-
-(* The elementwise chain that can fuse after [node] (structural: single
-   consumer, Assign, same shape, not complex). *)
-let fusable_chain (g : Graph.t) (node : Graph.node) : Graph.node list =
-  let rec walk acc cur =
-    match Graph.consumers g cur with
-    | [ c ]
-      when c.Graph.op.Opdef.combiner = Opdef.Assign
-           && (not c.Graph.op.Opdef.complex)
-           && Shape.equal c.Graph.op.Opdef.out_shape
-                node.Graph.op.Opdef.out_shape ->
-        walk (acc @ [ c ]) c.Graph.op.Opdef.out_name
-    | _ -> acc
-  in
-  walk [] node.Graph.op.Opdef.out_name
+let propagate_mode = function
+  | Galt_wp -> Propagate.Adjacent
+  | Gvendor | Gautotvm | Gansor | Galt | Galt_ol -> Propagate.Full
 
 type tuned_graph = {
   system : gsystem;
@@ -78,101 +53,40 @@ type tuned_graph = {
   per_task : (string * Tuner.result) list;
 }
 
-let tune_graph ?(seed = 0) ?(jobs = 1) ?(levels = 1) ?(max_points = 30_000)
-    ?faults ?retries ?fast ?memo ?backend ?warm_start ~(system : gsystem)
-    ~(machine : Machine.t) ~(budget : int) (g : Graph.t) : tuned_graph =
-  Alt_obs.Trace.with_span "graph_tuner.tune_graph" @@ fun () ->
-  let complex = Graph.complex_nodes g in
-  (* deduplicate by signature *)
-  let uniq : (string, Graph.node * Graph.node list) Hashtbl.t =
-    Hashtbl.create 16
-  in
-  let order = ref [] in
-  List.iter
-    (fun (n : Graph.node) ->
-      let chain = fusable_chain g n in
-      let s = signature n.Graph.op (List.map (fun c -> c.Graph.op) chain) in
-      if not (Hashtbl.mem uniq s) then begin
-        Hashtbl.replace uniq s (n, chain);
-        order := s :: !order
-      end)
-    complex;
-  let sigs = List.rev !order in
-  let per_task_budget = max 8 (budget / max 1 (List.length sigs)) in
-  (* propagation mode: ALT-WP loses fusion, so tune without the chain *)
-  let mode =
-    match system with Galt_wp -> Propagate.Adjacent | _ -> Propagate.Full
-  in
+(* Assemble a graph from per-task tuning results keyed by Taskset
+   signature: pick each complex node's layout/schedule from its task's
+   best, propagate, compile.  [results] may cover more tasks than [g]
+   uses (the zoo's full task set); only the used ones are reported. *)
+let assemble ~(system : gsystem) ~(results : (string * Tuner.result) list)
+    (g : Graph.t) : tuned_graph =
+  let mode = propagate_mode system in
   let tuned : (string, Tuner.result) Hashtbl.t = Hashtbl.create 16 in
   List.iter
-    (fun s ->
-      let node, chain = Hashtbl.find uniq s in
-      let fused_ops =
-        match mode with
-        | Propagate.Adjacent | Propagate.Off -> []
-        | Propagate.Full -> List.map (fun (c : Graph.node) -> c.Graph.op) chain
-      in
-      let task =
-        Measure.make_task ~fused:fused_ops ~max_points ?faults ?retries
-          ?fast ?memo ?backend ~machine node.Graph.op
-      in
-      let tune_task () =
-        match system with
-        | Gvendor ->
-            Tuner.tune_op ~seed ~jobs ~system:Tuner.Vendor
-              ~budget:per_task_budget task
-        | Gautotvm ->
-            (* NeoCPU-style: fixed blocked layout, restricted loop space *)
-            Tuner.tune_loop_only ~seed ~jobs ?warm_start
-              ~explorer:Tuner.Restricted ~budget:per_task_budget
-              ~layouts:
-                [
-                  Templates.blocked_choice node.Graph.op
-                    ~block:(2 * machine.Machine.lanes);
-                ]
-              task
-        | Gansor ->
-            Tuner.tune_loop_only ~seed ~jobs ?warm_start
-              ~explorer:Tuner.Guided ~budget:per_task_budget
-              ~layouts:
-                [
-                  Templates.blocked_choice node.Graph.op
-                    ~block:(2 * machine.Machine.lanes);
-                ]
-              task
-        | Galt_ol ->
-            Tuner.tune_loop_only ~seed ~jobs ?warm_start
-              ~explorer:Tuner.Guided ~budget:per_task_budget
-              ~layouts:[ Templates.channels_last_choice node.Graph.op ]
-              task
-        | Galt | Galt_wp ->
-            Tuner.tune_alt ~seed ~jobs ~levels ?warm_start
-              ~joint_budget:(per_task_budget * 4 / 10)
-              ~loop_budget:(per_task_budget * 6 / 10)
-              task
-      in
-      let r =
-        if Alt_obs.Trace.enabled () then
-          Alt_obs.Trace.with_span "graph_tuner.task"
-            ~attrs:[ ("signature", Alt_obs.Json.String s) ]
-            tune_task
-        else tune_task ()
-      in
-      (* fold the finished task's stats into the metrics registry; the CLI
-         and the metrics file then report totals across all graph tasks *)
-      Measure.publish_obs task;
-      Hashtbl.replace tuned s r)
-    sigs;
-  (* assemble choices and schedules for every complex node *)
+    (fun (s, r) -> if not (Hashtbl.mem tuned s) then Hashtbl.add tuned s r)
+    results;
+  let used = ref [] in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
   let choices = ref [] and schedules = ref [] in
   List.iter
     (fun (n : Graph.node) ->
-      let chain = fusable_chain g n in
-      let s = signature n.Graph.op (List.map (fun c -> c.Graph.op) chain) in
-      let r = Hashtbl.find tuned s in
-      choices := (n.Graph.op.Opdef.name, r.Tuner.best_choice) :: !choices;
-      schedules := (n.Graph.op.Opdef.name, r.Tuner.best_schedule) :: !schedules)
-    complex;
+      let chain = Taskset.fusable_chain g n in
+      let s =
+        Taskset.signature n.Graph.op (List.map (fun c -> c.Graph.op) chain)
+      in
+      match Hashtbl.find_opt tuned s with
+      | None ->
+          invalid_arg
+            (Fmt.str "Graph_tuner.assemble: no tuning result for task %s" s)
+      | Some r ->
+          if not (Hashtbl.mem seen s) then begin
+            Hashtbl.replace seen s ();
+            used := s :: !used
+          end;
+          choices := (n.Graph.op.Opdef.name, r.Tuner.best_choice) :: !choices;
+          schedules :=
+            (n.Graph.op.Opdef.name, r.Tuner.best_schedule) :: !schedules)
+    (Graph.complex_nodes g);
+  let sigs = List.rev !used in
   let plan = Propagate.plan ~mode g ~choices:!choices in
   let compiled = Compile.compile ~schedules:!schedules g plan in
   {
@@ -182,10 +96,163 @@ let tune_graph ?(seed = 0) ?(jobs = 1) ?(levels = 1) ?(max_points = 30_000)
     schedules = !schedules;
     tasks_tuned = List.length sigs;
     measurements =
-      Hashtbl.fold (fun _ (r : Tuner.result) a -> a + r.Tuner.spent) tuned 0;
-    per_task =
-      List.map (fun s -> (s, Hashtbl.find tuned s)) sigs;
+      List.fold_left
+        (fun a s -> a + (Hashtbl.find tuned s).Tuner.spent)
+        0 sigs;
+    per_task = List.map (fun s -> (s, Hashtbl.find tuned s)) sigs;
   }
+
+(* The per-system tuner factory handed to the scheduler.  The phase split
+   is derived from [share] (the static per-task slice), so the Static
+   policy reproduces the legacy sequential split exactly; the gradient
+   surplus [total - share] extends the final loop-only phase, where extra
+   trials refine the already-chosen layout. *)
+let tuner_factory ~seed ~levels ?warm_start ~(machine : Machine.t)
+    ~(system : gsystem) : Scheduler.make_tuner =
+ fun ~pool ~share ~total ~transfer ~stop ~on_progress task ->
+  let op = task.Measure.op in
+  let blocked =
+    lazy [ Templates.blocked_choice op ~block:(2 * machine.Machine.lanes) ]
+  in
+  match system with
+  | Gvendor -> Tuner.tune_vendor ~pool ~stop ~on_progress task
+  | Gautotvm ->
+      (* NeoCPU-style: fixed blocked layout, restricted loop space *)
+      Tuner.tune_loop_only ~seed ~pool ?warm_start ~stop ~on_progress
+        ?transfer ~explorer:Tuner.Restricted ~budget:total
+        ~layouts:(Lazy.force blocked) task
+  | Gansor ->
+      Tuner.tune_loop_only ~seed ~pool ?warm_start ~stop ~on_progress
+        ?transfer ~explorer:Tuner.Guided ~budget:total
+        ~layouts:(Lazy.force blocked) task
+  | Galt_ol ->
+      Tuner.tune_loop_only ~seed ~pool ?warm_start ~stop ~on_progress
+        ?transfer ~explorer:Tuner.Guided ~budget:total
+        ~layouts:[ Templates.channels_last_choice op ]
+        task
+  | Galt | Galt_wp ->
+      Tuner.tune_alt ~seed ~pool ~levels ?warm_start ~stop ~on_progress
+        ?transfer
+        ~joint_budget:(share * 4 / 10)
+        ~loop_budget:((share * 6 / 10) + (total - share))
+        task
+
+(* Tune a whole zoo of named graphs under one global budget, then
+   assemble every model from the shared task results. *)
+let tune_models ?(seed = 0) ?(jobs = 1) ?(levels = 1) ?(max_points = 30_000)
+    ?faults ?retries ?fast ?memo ?backend ?warm_start ?transfer
+    ?epsilon_period ?slope_window ?(policy = Scheduler.Gradient)
+    ~(system : gsystem) ~(machine : Machine.t) ~(budget : int)
+    (graphs : (string * Graph.t) list) :
+    Scheduler.report * (string * tuned_graph) list =
+  let mode = propagate_mode system in
+  let make_task (e : Taskset.entry) =
+    let fused_ops =
+      match mode with
+      | Propagate.Adjacent | Propagate.Off -> []
+      | Propagate.Full ->
+          List.map (fun (c : Graph.node) -> c.Graph.op) e.Taskset.chain
+    in
+    Measure.make_task ~fused:fused_ops ~max_points ?faults ?retries ?fast
+      ?memo ?backend ~machine e.Taskset.node.Graph.op
+  in
+  let make_tuner = tuner_factory ~seed ~levels ?warm_start ~machine ~system in
+  let report =
+    Scheduler.tune_models ~jobs ?transfer ?epsilon_period ?slope_window
+      ~policy ~make_task ~make_tuner ~budget graphs
+  in
+  let results =
+    List.map
+      (fun (t : Scheduler.task_report) ->
+        (t.Scheduler.signature, t.Scheduler.result))
+      report.Scheduler.tasks
+  in
+  (report, List.map (fun (name, g) -> (name, assemble ~system ~results g)) graphs)
+
+let tune_graph ?(seed = 0) ?(jobs = 1) ?(levels = 1) ?(max_points = 30_000)
+    ?faults ?retries ?fast ?memo ?backend ?warm_start ?scheduler
+    ~(system : gsystem) ~(machine : Machine.t) ~(budget : int) (g : Graph.t) :
+    tuned_graph =
+  match scheduler with
+  | Some policy ->
+      let _, tuned =
+        tune_models ~seed ~jobs ~levels ~max_points ?faults ?retries ?fast
+          ?memo ?backend ?warm_start ~policy ~system ~machine ~budget
+          [ ("model", g) ]
+      in
+      snd (List.hd tuned)
+  | None ->
+      (* the legacy sequential path: fixed per-task split, first-seen task
+         order, one tuner run per unique task — kept verbatim as the
+         default so existing trajectories are untouched *)
+      Alt_obs.Trace.with_span "graph_tuner.tune_graph" @@ fun () ->
+      let entries = Taskset.of_graph g in
+      let per_task_budget = max 8 (budget / max 1 (List.length entries)) in
+      (* propagation mode: ALT-WP loses fusion, so tune without the chain *)
+      let mode = propagate_mode system in
+      let tuned = ref [] in
+      List.iter
+        (fun (e : Taskset.entry) ->
+          let node = e.Taskset.node and chain = e.Taskset.chain in
+          let fused_ops =
+            match mode with
+            | Propagate.Adjacent | Propagate.Off -> []
+            | Propagate.Full ->
+                List.map (fun (c : Graph.node) -> c.Graph.op) chain
+          in
+          let task =
+            Measure.make_task ~fused:fused_ops ~max_points ?faults ?retries
+              ?fast ?memo ?backend ~machine node.Graph.op
+          in
+          let tune_task () =
+            match system with
+            | Gvendor ->
+                Tuner.tune_op ~seed ~jobs ~system:Tuner.Vendor
+                  ~budget:per_task_budget task
+            | Gautotvm ->
+                (* NeoCPU-style: fixed blocked layout, restricted loops *)
+                Tuner.tune_loop_only ~seed ~jobs ?warm_start
+                  ~explorer:Tuner.Restricted ~budget:per_task_budget
+                  ~layouts:
+                    [
+                      Templates.blocked_choice node.Graph.op
+                        ~block:(2 * machine.Machine.lanes);
+                    ]
+                  task
+            | Gansor ->
+                Tuner.tune_loop_only ~seed ~jobs ?warm_start
+                  ~explorer:Tuner.Guided ~budget:per_task_budget
+                  ~layouts:
+                    [
+                      Templates.blocked_choice node.Graph.op
+                        ~block:(2 * machine.Machine.lanes);
+                    ]
+                  task
+            | Galt_ol ->
+                Tuner.tune_loop_only ~seed ~jobs ?warm_start
+                  ~explorer:Tuner.Guided ~budget:per_task_budget
+                  ~layouts:[ Templates.channels_last_choice node.Graph.op ]
+                  task
+            | Galt | Galt_wp ->
+                Tuner.tune_alt ~seed ~jobs ~levels ?warm_start
+                  ~joint_budget:(per_task_budget * 4 / 10)
+                  ~loop_budget:(per_task_budget * 6 / 10)
+                  task
+          in
+          let r =
+            if Alt_obs.Trace.enabled () then
+              Alt_obs.Trace.with_span "graph_tuner.task"
+                ~attrs:
+                  [ ("signature", Alt_obs.Json.String e.Taskset.signature) ]
+                tune_task
+            else tune_task ()
+          in
+          (* fold the finished task's stats into the metrics registry; the
+             CLI and the metrics file then report totals across all tasks *)
+          Measure.publish_obs task;
+          tuned := (e.Taskset.signature, r) :: !tuned)
+        entries;
+      assemble ~system ~results:(List.rev !tuned) g
 
 (* Run the tuned graph end to end on the machine model. *)
 let run ?(max_points = 60_000) ?(seed = 5) (tg : tuned_graph)

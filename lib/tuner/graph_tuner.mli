@@ -33,7 +33,8 @@ val tune_graph :
   ?seed:int -> ?jobs:int -> ?levels:int -> ?max_points:int ->
   ?faults:Alt_faults.Fault.t -> ?retries:int -> ?fast:bool -> ?memo:bool ->
   ?backend:Alt_machine.Runtime.backend ->
-  ?warm_start:bool -> system:gsystem -> machine:Machine.t -> budget:int ->
+  ?warm_start:bool -> ?scheduler:Scheduler.policy ->
+  system:gsystem -> machine:Machine.t -> budget:int ->
   Graph.t -> tuned_graph
 (** [jobs] bounds the domains used for concurrent measurements per tuning
     task; results are identical for every value (see {!Tuner}).  [faults]
@@ -44,7 +45,33 @@ val tune_graph :
     either way.  [backend] selects the measuring device per task (see
     {!Measure.make_task}).  [warm_start] keeps each task's cost model
     across batches
-    (off by default; changes trajectories — see {!Tuner.tune_alt}). *)
+    (off by default; changes trajectories — see {!Tuner.tune_alt}).
+    [scheduler] routes the tuning through {!Scheduler.tune_models} with
+    the given policy instead of the legacy sequential fixed-split loop
+    (the default, whose trajectories are untouched). *)
+
+val tune_models :
+  ?seed:int -> ?jobs:int -> ?levels:int -> ?max_points:int ->
+  ?faults:Alt_faults.Fault.t -> ?retries:int -> ?fast:bool -> ?memo:bool ->
+  ?backend:Alt_machine.Runtime.backend -> ?warm_start:bool ->
+  ?transfer:bool -> ?epsilon_period:int -> ?slope_window:int ->
+  ?policy:Scheduler.policy ->
+  system:gsystem -> machine:Machine.t -> budget:int ->
+  (string * Graph.t) list -> Scheduler.report * (string * tuned_graph) list
+(** Tune a zoo of named graphs under one global [budget] (DESIGN.md §14):
+    tasks are deduplicated across all models ({!Taskset.of_graphs}), the
+    scheduler ([policy], default [Gradient]) allocates trials round by
+    round, and every model is assembled from the shared task results.
+    [transfer]/[epsilon_period]/[slope_window] are forwarded to
+    {!Scheduler.tune_models}. *)
+
+val assemble :
+  system:gsystem -> results:(string * Tuner.result) list -> Graph.t ->
+  tuned_graph
+(** Assemble a graph from per-task results keyed by {!Taskset.signature}:
+    per-node layout/schedule selection, propagation, compilation.
+    [results] may cover more tasks than the graph uses; raises
+    [Invalid_argument] if one of the graph's tasks is missing. *)
 
 val run :
   ?max_points:int -> ?seed:int -> tuned_graph -> machine:Machine.t ->

@@ -21,7 +21,20 @@
       rejected with [Invalid_argument]).  Resuming replays the interrupted
       trajectory byte-identically, then continues past the interruption;
     - [?on_round:(round -> unit)] — hook fired after each round's
-      checkpoint is written; tests raise from it to simulate kills. *)
+      checkpoint is written; tests raise from it to simulate kills.
+
+    The scheduler triple (DESIGN.md §14) rides the same round boundary:
+    - [?stop:(unit -> bool)] — cooperative preemption probe, checked
+      before every measurement round; when it returns [true] the tuner
+      skips all remaining rounds and returns its best-so-far [result].
+      The default never stops, leaving trajectories untouched;
+    - [?on_progress:(progress -> unit)] — fired after [on_round] (so the
+      round's checkpoint is already durable); {!Step} performs its
+      suspension effect from this hook;
+    - [?transfer] — cross-task cost-model transfer: the first GBDT fit
+      warm-starts from [donor ()] (if any) via [Gbdt.refit], and every
+      fitted model is handed to [publish].  Folded into the checkpoint
+      fingerprint as ":tx" since it changes the trajectory. *)
 
 module Schedule = Alt_ir.Schedule
 module Machine = Alt_machine.Machine
@@ -38,6 +51,25 @@ type result = {
   spent : int;
 }
 
+type progress = {
+  rounds : int; (** measurement rounds completed *)
+  spent : int; (** trials charged to the task budget *)
+  best_latency : float; (** ms; infinity if nothing measured yet *)
+}
+(** Best-so-far snapshot handed to [on_progress] after every measurement
+    round — the scheduler's unit of observation. *)
+
+type transfer = {
+  donor : unit -> Alt_costmodel.Gbdt.t option;
+      (** consulted once, at the first fit; a donated ensemble is
+          warm-started on this task's samples via [Gbdt.refit] *)
+  publish : Alt_costmodel.Gbdt.t -> unit;
+      (** receives every fitted model, for later similar tasks *)
+}
+(** Cross-task cost-model transfer hooks (DESIGN.md §14).  Both callbacks
+    run inside the tuner's fit path: they must not measure, draw
+    randomness, or raise. *)
+
 (** Loop-space exploration policy. *)
 type loop_explorer =
   | Guided (** elite mutations + random, cost-model-ranked (Ansor/ALT) *)
@@ -52,7 +84,8 @@ val tune_alt :
   ?seed:int -> ?jobs:int -> ?pool:Alt_parallel.Pool.t -> ?levels:int ->
   ?layout_explorer:[ `Random | `Ppo_fresh | `Ppo of Ppo.t ] ->
   ?seed_layouts:bool -> ?warm_start:bool -> ?checkpoint:string ->
-  ?resume:string -> ?on_round:(int -> unit) ->
+  ?resume:string -> ?on_round:(int -> unit) -> ?stop:(unit -> bool) ->
+  ?on_progress:(progress -> unit) -> ?transfer:transfer ->
   joint_budget:int -> loop_budget:int -> Measure.task -> result
 (** The ALT tuner.  The joint stage seeds with heuristic layouts, then
     cross-explores template layouts with the layout agent, assessing each
@@ -69,7 +102,9 @@ val tune_alt :
 val tune_loop_only :
   ?seed:int -> ?jobs:int -> ?pool:Alt_parallel.Pool.t -> ?warm_start:bool ->
   ?checkpoint:string ->
-  ?resume:string -> ?on_round:(int -> unit) -> explorer:loop_explorer ->
+  ?resume:string -> ?on_round:(int -> unit) -> ?stop:(unit -> bool) ->
+  ?on_progress:(progress -> unit) -> ?transfer:transfer ->
+  explorer:loop_explorer ->
   budget:int -> layouts:Propagate.choice list -> Measure.task -> result
 (** Loop tuning over fixed layout candidates, splitting the budget across
     them (the paper tries NOHW and NHWO for baselines and reports the
@@ -88,11 +123,44 @@ val system_name : system -> string
 
 val tune_vendor :
   ?seed:int -> ?jobs:int -> ?pool:Alt_parallel.Pool.t -> ?checkpoint:string ->
-  ?resume:string -> ?on_round:(int -> unit) -> Measure.task -> result
+  ?resume:string -> ?on_round:(int -> unit) -> ?stop:(unit -> bool) ->
+  ?on_progress:(progress -> unit) -> Measure.task -> result
 (** Vendor-library stand-in: a small set of expert schedules on a fixed
     blocked layout; no search. *)
 
 val tune_op :
   ?seed:int -> ?jobs:int -> ?pool:Alt_parallel.Pool.t -> ?warm_start:bool ->
   ?checkpoint:string -> ?resume:string -> ?on_round:(int -> unit) ->
+  ?stop:(unit -> bool) -> ?on_progress:(progress -> unit) ->
+  ?transfer:transfer ->
   system:system -> budget:int -> Measure.task -> result
+
+(** Resumable stepping over any tuning entry point — the scheduler's
+    suspension primitive, the same effect-fiber shape as
+    [lib/serve/session.ml].  [start f] wraps the tuner thunk [f] (which
+    receives the [stop] probe and the [on_progress] hook to pass through);
+    each [step] runs exactly one measurement round and pauses, returning
+    the round's {!progress}; [finish] flips the stop probe and drives the
+    fiber through the tuner's normal finalization, returning its
+    best-so-far {!result}.  Stepping a fiber to completion yields the
+    byte-identical [result] of calling the entry point directly. *)
+module Step : sig
+  type status = Running of progress | Done of result
+
+  type t
+
+  val start :
+    (stop:(unit -> bool) -> on_progress:(progress -> unit) -> result) -> t
+
+  val step : t -> status
+  (** Run one more measurement round (or the final wind-down). *)
+
+  val finish : t -> result
+  (** Stop cooperatively: no further rounds are measured; the fiber's own
+      finalization runs and its result is returned.  Idempotent. *)
+
+  val finished : t -> bool
+  val progress : t -> progress
+  (** Last yielded snapshot (zero rounds / infinite latency before the
+      first step). *)
+end

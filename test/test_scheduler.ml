@@ -1,0 +1,290 @@
+(* Differential tests for the gradient task scheduler (DESIGN.md §14):
+   jobs-count invariance of whole-zoo trajectories, Static-policy
+   equivalence with the legacy sequential graph tuner, Tuner.Step fiber
+   equivalence with direct tuner calls, and the headline perf property —
+   gradient scheduling with cost-model transfer beats (or matches) the
+   static split on end-to-end latency at equal budget. *)
+
+module Graph = Alt_graph.Graph
+module Ops = Alt_graph.Ops
+module Machine = Alt_machine.Machine
+module Measure = Alt_tuner.Measure
+module Tuner = Alt_tuner.Tuner
+module Taskset = Alt_tuner.Taskset
+module Scheduler = Alt_tuner.Scheduler
+module Graph_tuner = Alt_tuner.Graph_tuner
+
+(* --- tiny two-model zoo: a conv net and an MLP sharing one gmm task --- *)
+
+let conv_model () =
+  let b = Graph.builder () in
+  let x = Graph.input b "x" [| 1; 4; 8; 8 |] in
+  let k = Graph.param b "k" [| 8; 4; 3; 3 |] in
+  let y =
+    Graph.add b
+      (Ops.c2d ~name:"conv" ~inp:x ~ker:k ~out:"y" ~n:1 ~i:4 ~o:8 ~h:6 ~w:6
+         ~kh:3 ~kw:3 ())
+  in
+  let yr =
+    Graph.add b (Ops.relu ~name:"relu" ~inp:y ~out:"yr" ~shape:[| 1; 8; 6; 6 |] ())
+  in
+  ignore yr;
+  Graph.finish b ~outputs:[ yr ]
+
+let mlp_model () =
+  let b = Graph.builder () in
+  let x = Graph.input b "x" [| 8; 8 |] in
+  let w0 = Graph.param b "w0" [| 8; 8 |] in
+  let w1 = Graph.param b "w1" [| 8; 12 |] in
+  let h =
+    Graph.add b (Ops.gmm ~name:"fc0" ~a:x ~b:w0 ~out:"h" ~m:8 ~k:8 ~n:8 ())
+  in
+  let hr =
+    Graph.add b (Ops.relu ~name:"relu0" ~inp:h ~out:"hr" ~shape:[| 8; 8 |] ())
+  in
+  let o =
+    Graph.add b (Ops.gmm ~name:"fc1" ~a:hr ~b:w1 ~out:"o" ~m:8 ~k:8 ~n:12 ())
+  in
+  ignore o;
+  Graph.finish b ~outputs:[ o ]
+
+(* the mlp's fc0 (gmm 8x8x8 + relu chain) also appears here, so the zoo
+   exercises cross-model task dedup *)
+let mixed_model () =
+  let b = Graph.builder () in
+  let x = Graph.input b "x" [| 8; 8 |] in
+  let w0 = Graph.param b "w0" [| 8; 8 |] in
+  let h =
+    Graph.add b (Ops.gmm ~name:"g0" ~a:x ~b:w0 ~out:"h" ~m:8 ~k:8 ~n:8 ())
+  in
+  let hr =
+    Graph.add b (Ops.relu ~name:"r0" ~inp:h ~out:"hr" ~shape:[| 8; 8 |] ())
+  in
+  let h2 =
+    Graph.add b (Ops.gmm ~name:"g1" ~a:hr ~b:w0 ~out:"h2" ~m:8 ~k:8 ~n:8 ())
+  in
+  let h2r =
+    Graph.add b (Ops.relu ~name:"r1" ~inp:h2 ~out:"h2r" ~shape:[| 8; 8 |] ())
+  in
+  ignore h2r;
+  Graph.finish b ~outputs:[ h2r ]
+
+let zoo () = [ ("convnet", conv_model ()); ("mlp", mlp_model ()) ]
+
+let tune ?(jobs = 1) ?transfer ~policy ~budget graphs =
+  Graph_tuner.tune_models ~jobs ~max_points:2_000 ?transfer ~policy
+    ~system:Graph_tuner.Galt ~machine:Machine.intel_cpu ~budget graphs
+
+(* --- task extraction across the zoo --- *)
+
+let test_taskset_dedup () =
+  let graphs =
+    [ ("mlp", mlp_model ()); ("mixed", mixed_model ()) ]
+  in
+  let entries = Taskset.of_graphs graphs in
+  (* fc0 and both of mixed's gmms share one signature; fc1 is its own *)
+  Alcotest.(check int) "unique tasks" 2 (List.length entries);
+  let shared = List.hd entries in
+  Alcotest.(check (list (pair string int)))
+    "occurrence counts"
+    [ ("mlp", 1); ("mixed", 2) ]
+    shared.Taskset.occurrences;
+  Alcotest.(check int) "total occurrences" 3 (Taskset.occurrences_total shared)
+
+(* --- determinism: jobs=1 and jobs=4 trajectories are byte-identical --- *)
+
+let task_key (t : Scheduler.task_report) =
+  ( t.Scheduler.signature,
+    t.Scheduler.trials,
+    t.Scheduler.rounds,
+    t.Scheduler.best_latency,
+    t.Scheduler.result.Tuner.history )
+
+let check_reports_equal what (a : Scheduler.report) (b : Scheduler.report) =
+  Alcotest.(check int) (what ^ ": picks") a.Scheduler.picks b.Scheduler.picks;
+  Alcotest.(check int)
+    (what ^ ": eps picks") a.Scheduler.eps_picks b.Scheduler.eps_picks;
+  Alcotest.(check int) (what ^ ": spent") a.Scheduler.spent b.Scheduler.spent;
+  List.iter2
+    (fun ta tb ->
+      if task_key ta <> task_key tb then
+        Alcotest.failf "%s: task %s trajectory differs" what
+          ta.Scheduler.signature)
+    a.Scheduler.tasks b.Scheduler.tasks;
+  Alcotest.(check (list (pair string (list (pair int (float 1e-12))))))
+    (what ^ ": curves") a.Scheduler.curves b.Scheduler.curves
+
+let test_jobs_invariance policy () =
+  let budget = 72 in
+  let r1, _ = tune ~jobs:1 ~policy ~budget (zoo ()) in
+  let r4, _ = tune ~jobs:4 ~policy ~budget (zoo ()) in
+  check_reports_equal (Scheduler.policy_name policy) r1 r4
+
+(* --- Static through the scheduler == the legacy sequential loop --- *)
+
+let test_static_equals_legacy () =
+  let budget = 64 in
+  let legacy =
+    Graph_tuner.tune_graph ~max_points:2_000 ~system:Graph_tuner.Galt
+      ~machine:Machine.intel_cpu ~budget (conv_model ())
+  in
+  let via_sched =
+    Graph_tuner.tune_graph ~max_points:2_000 ~scheduler:Scheduler.Static
+      ~system:Graph_tuner.Galt ~machine:Machine.intel_cpu ~budget
+      (conv_model ())
+  in
+  Alcotest.(check int)
+    "tasks" legacy.Graph_tuner.tasks_tuned via_sched.Graph_tuner.tasks_tuned;
+  Alcotest.(check int)
+    "measurements" legacy.Graph_tuner.measurements
+    via_sched.Graph_tuner.measurements;
+  List.iter2
+    (fun (sa, (ra : Tuner.result)) (sb, (rb : Tuner.result)) ->
+      Alcotest.(check string) "task signature" sa sb;
+      Alcotest.(check (float 0.0))
+        "task best latency" ra.Tuner.best_latency rb.Tuner.best_latency;
+      Alcotest.(check int) "task spent" ra.Tuner.spent rb.Tuner.spent;
+      if ra.Tuner.history <> rb.Tuner.history then
+        Alcotest.failf "task %s: history differs" sa)
+    legacy.Graph_tuner.per_task via_sched.Graph_tuner.per_task
+
+(* --- Tuner.Step: stepping to completion == calling the tuner directly --- *)
+
+let step_task () =
+  Measure.make_task ~machine:Machine.intel_cpu ~max_points:2_000
+    (Ops.gmm ~name:"gmm" ~a:"A" ~b:"B" ~out:"C" ~m:8 ~k:8 ~n:8 ())
+
+let test_step_equals_direct () =
+  let direct =
+    Tuner.tune_alt ~seed:0 ~joint_budget:12 ~loop_budget:20 (step_task ())
+  in
+  let fiber =
+    Tuner.Step.start (fun ~stop ~on_progress ->
+        Tuner.tune_alt ~seed:0 ~stop ~on_progress ~joint_budget:12
+          ~loop_budget:20 (step_task ()))
+  in
+  let rec drive n =
+    if n > 10_000 then Alcotest.fail "fiber did not finish";
+    match Tuner.Step.step fiber with
+    | Tuner.Step.Done r -> r
+    | Tuner.Step.Running _ -> drive (n + 1)
+  in
+  let stepped = drive 0 in
+  Alcotest.(check (float 0.0))
+    "best latency" direct.Tuner.best_latency stepped.Tuner.best_latency;
+  Alcotest.(check int) "spent" direct.Tuner.spent stepped.Tuner.spent;
+  if direct.Tuner.history <> stepped.Tuner.history then
+    Alcotest.fail "history differs";
+  Alcotest.(check bool) "finished" true (Tuner.Step.finished fiber);
+  (* finish is idempotent on a done fiber *)
+  let again = Tuner.Step.finish fiber in
+  Alcotest.(check (float 0.0))
+    "finish after done" stepped.Tuner.best_latency again.Tuner.best_latency
+
+let test_step_early_finish () =
+  let fiber =
+    Tuner.Step.start (fun ~stop ~on_progress ->
+        Tuner.tune_alt ~seed:0 ~stop ~on_progress ~joint_budget:12
+          ~loop_budget:20 (step_task ()))
+  in
+  (match Tuner.Step.step fiber with
+  | Tuner.Step.Done _ -> Alcotest.fail "finished after one round"
+  | Tuner.Step.Running p ->
+      Alcotest.(check bool) "one round" true (p.Tuner.rounds >= 1));
+  let r = Tuner.Step.finish fiber in
+  Alcotest.(check bool)
+    "early result measured something" true
+    (Float.is_finite r.Tuner.best_latency);
+  Alcotest.(check bool) "finished" true (Tuner.Step.finished fiber);
+  let p = Tuner.Step.progress fiber in
+  Alcotest.(check bool)
+    "progress tracks result" true
+    (p.Tuner.best_latency >= r.Tuner.best_latency)
+
+(* --- the perf property: gradient + transfer >= static at equal budget --- *)
+
+let e2e_latency tuned =
+  List.fold_left
+    (fun acc (_, tg) ->
+      let r = Graph_tuner.run ~max_points:2_000 tg ~machine:Machine.intel_cpu in
+      acc +. r.Alt_graph.Compile.latency_ms)
+    0.0 tuned
+
+let test_gradient_beats_static () =
+  let budget = 96 in
+  let rs, static = tune ~policy:Scheduler.Static ~budget (zoo ()) in
+  let rg, gradient = tune ~policy:Scheduler.Gradient ~budget (zoo ()) in
+  Alcotest.(check bool) "transfer on under gradient" true rg.Scheduler.transfer;
+  Alcotest.(check bool) "transfer off under static" false rs.Scheduler.transfer;
+  Alcotest.(check bool)
+    "gradient spends within budget" true
+    (rg.Scheduler.spent <= budget);
+  let ls = e2e_latency static and lg = e2e_latency gradient in
+  if not (lg <= ls *. 1.0001) then
+    Alcotest.failf "gradient %g ms worse than static %g ms at budget %d" lg ls
+      budget;
+  (* curves exist for every model and spend is non-decreasing *)
+  List.iter
+    (fun (m, pts) ->
+      Alcotest.(check bool) (m ^ ": has curve points") true (pts <> []);
+      let rec mono = function
+        | (s0, _) :: ((s1, _) :: _ as tl) ->
+            if s0 > s1 then Alcotest.failf "%s: curve spend decreases" m;
+            mono tl
+        | _ -> ()
+      in
+      mono pts)
+    rg.Scheduler.curves
+
+(* --- QCheck2: jobs invariance over random seeds and job counts --- *)
+
+let prop_jobs_invariant =
+  QCheck2.Test.make ~count:3 ~name:"scheduler trajectory independent of jobs"
+    QCheck2.Gen.(pair (int_range 0 3) (int_range 2 4))
+    (fun (seed, jobs) ->
+      let budget = 48 in
+      let go jobs =
+        Graph_tuner.tune_models ~seed ~jobs ~max_points:2_000
+          ~policy:Scheduler.Gradient ~system:Graph_tuner.Galt
+          ~machine:Machine.intel_cpu ~budget
+          [ ("mlp", mlp_model ()); ("mixed", mixed_model ()) ]
+      in
+      let r1, _ = go 1 and rn, _ = go jobs in
+      r1.Scheduler.picks = rn.Scheduler.picks
+      && r1.Scheduler.spent = rn.Scheduler.spent
+      && r1.Scheduler.curves = rn.Scheduler.curves
+      && List.for_all2
+           (fun a b -> task_key a = task_key b)
+           r1.Scheduler.tasks rn.Scheduler.tasks)
+
+let () =
+  Alcotest.run "scheduler"
+    [
+      ( "taskset",
+        [ Alcotest.test_case "cross-model dedup" `Quick test_taskset_dedup ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "gradient jobs=1 == jobs=4" `Quick
+            (test_jobs_invariance Scheduler.Gradient);
+          Alcotest.test_case "roundrobin jobs=1 == jobs=4" `Quick
+            (test_jobs_invariance Scheduler.Roundrobin);
+          QCheck_alcotest.to_alcotest prop_jobs_invariant;
+        ] );
+      ( "static",
+        [
+          Alcotest.test_case "scheduler static == legacy loop" `Quick
+            test_static_equals_legacy;
+        ] );
+      ( "step",
+        [
+          Alcotest.test_case "stepping == direct call" `Quick
+            test_step_equals_direct;
+          Alcotest.test_case "early finish is valid" `Quick
+            test_step_early_finish;
+        ] );
+      ( "perf",
+        [
+          Alcotest.test_case "gradient+transfer >= static" `Quick
+            test_gradient_beats_static;
+        ] );
+    ]
