@@ -118,7 +118,7 @@ let json_of_rows rows =
 
 let () =
   let repeats = pick ~smoke:3 ~quick:5 ~full:9 in
-  let cfg = { Exec.warmup = 1; repeats; clock = Exec.Wall } in
+  let cfg = { Exec.warmup = 1; repeats; clock = Exec.Wall; domains = 1 } in
   (* streaming workload: miss-dominated on both devices, so layout is
      the first-order cost and rank agreement should be strongest *)
   let side = pick ~smoke:512 ~quick:768 ~full:1536 in
@@ -160,6 +160,20 @@ let () =
      exec wall is dominated by per-operation interpreter overhead the
      cache model deliberately omits — their rows are tracked in the
      JSON as diagnostics, not gated. *)
-  if stream.noise <= 0.3 && not (stream.rho > 0.5) then
+  (* wall-side non-vacuity guard (mirrors test_exec.ml): if a
+     cache-thrashing neighbor on a shared host flattens the zoo's wall
+     spread, every layout is equally miss-bound and rank agreement is
+     noise by construction — skip the floor loudly rather than judge *)
+  let wspread =
+    let wmin = Array.fold_left Float.min stream.wall_ms.(0) stream.wall_ms in
+    let wmax = Array.fold_left Float.max stream.wall_ms.(0) stream.wall_ms in
+    wmax /. Float.max 1e-9 wmin
+  in
+  if stream.noise <= 0.3 && wspread < 1.5 then
+    Fmt.epr
+      "crossval %s: wall spread %.2fx cannot separate the zoo (contended \
+       box) — floor skipped@."
+      stream.rname wspread
+  else if stream.noise <= 0.3 && not (stream.rho > 0.5) then
     Fmt.failwith "crossval %s: spearman %.3f below pinned floor 0.5"
       stream.rname stream.rho

@@ -169,10 +169,24 @@ let exec_repeats_arg =
           "Timed runs per exec-backend measurement; the median is the \
            reported latency.")
 
-let backend_of sel ~warmup ~repeats =
+let exec_domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "exec-domains" ] ~docv:"N"
+        ~doc:
+          "Domains each exec-backend kernel runs its leading parallel loops \
+           across (0 = all cores; default 1 = serial, today's behavior).  \
+           Outputs are bit-identical for every value; kernels whose \
+           schedules cannot be proven write-disjoint fall back to serial \
+           and are counted in exec.parallel.fallbacks.  Composes with \
+           --jobs: each concurrently measured candidate uses the shared \
+           domain team in turn.")
+
+let backend_of sel ~warmup ~repeats ~domains =
+  let domains = if domains <= 0 then Pool.default_jobs () else domains in
   match sel with
   | `Sim -> Runtime.Sim
-  | `Exec -> Runtime.Exec { Exec.warmup; repeats; clock = Exec.Wall }
+  | `Exec -> Runtime.Exec { Exec.warmup; repeats; clock = Exec.Wall; domains }
 
 let warm_start_arg =
   Arg.(
@@ -245,8 +259,8 @@ let system_arg =
 let tune_op_cmd =
   let run machine budget seed jobs kind batch channels out_channels spatial
       kernel stride system fault_rate fault_seed retries watchdog checkpoint
-      resume fast backend_sel exec_warmup exec_repeats warm_start trace
-      metrics =
+      resume fast backend_sel exec_warmup exec_repeats exec_domains
+      warm_start trace metrics =
     setup_logs ();
     setup_obs ~trace ~metrics;
     let jobs = resolve_jobs jobs in
@@ -256,6 +270,7 @@ let tune_op_cmd =
     let faults = faults_of ~rate:fault_rate ~seed:fault_seed in
     let backend =
       backend_of backend_sel ~warmup:exec_warmup ~repeats:exec_repeats
+        ~domains:exec_domains
     in
     let task =
       Measure.make_task ~machine ~faults ~retries ?watchdog_points:watchdog
@@ -281,9 +296,14 @@ let tune_op_cmd =
     Fmt.pr "system      : %s@." (Tuner.system_name system);
     (match backend with
     | Runtime.Sim -> ()
-    | Runtime.Exec _ ->
-        Fmt.pr "backend     : %s (wall-clock, serial device)@."
-          (Runtime.backend_tag backend));
+    | Runtime.Exec cfg ->
+        (* the serial line is byte-identical to before the knob existed *)
+        if cfg.Exec.domains = 1 then
+          Fmt.pr "backend     : %s (wall-clock, serial device)@."
+            (Runtime.backend_tag backend)
+        else
+          Fmt.pr "backend     : %s (wall-clock, %d domains)@."
+            (Runtime.backend_tag backend) cfg.Exec.domains);
     Fmt.pr "machine     : %a@." Machine.pp machine;
     Fmt.pr "jobs        : %d (%.2fs wall; cache %d hits / %d misses)@." jobs
       elapsed
@@ -330,8 +350,8 @@ let tune_op_cmd =
       $ batch_arg $ channels_arg $ out_channels_arg $ spatial_arg $ kernel_arg
       $ stride_arg $ system_arg $ fault_rate_arg $ fault_seed_arg
       $ retries_arg $ watchdog_arg $ checkpoint_arg $ resume_arg $ fast_arg
-      $ backend_arg $ exec_warmup_arg $ exec_repeats_arg $ warm_start_arg
-      $ trace_arg $ metrics_arg)
+      $ backend_arg $ exec_warmup_arg $ exec_repeats_arg $ exec_domains_arg
+      $ warm_start_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* tune-model                                                         *)
@@ -384,14 +404,15 @@ let scheduler_arg =
 
 let tune_model_cmd =
   let run machine budget seed jobs model batch system scheduler fault_rate
-      fault_seed retries fast backend_sel exec_warmup exec_repeats warm_start
-      trace metrics =
+      fault_seed retries fast backend_sel exec_warmup exec_repeats
+      exec_domains warm_start trace metrics =
     setup_logs ();
     setup_obs ~trace ~metrics;
     let jobs = resolve_jobs jobs in
     let faults = faults_of ~rate:fault_rate ~seed:fault_seed in
     let backend =
       backend_of backend_sel ~warmup:exec_warmup ~repeats:exec_repeats
+        ~domains:exec_domains
     in
     let spec = zoo_spec model ~batch in
     Fmt.pr "tuning %s with %s on %a (budget %d)...@." spec.Zoo.name
@@ -414,8 +435,8 @@ let tune_model_cmd =
       const run $ machine_arg $ budget_arg $ seed_arg $ jobs_arg $ model_arg
       $ batch_arg $ gsystem_arg $ scheduler_arg $ fault_rate_arg
       $ fault_seed_arg $ retries_arg $ fast_arg $ backend_arg
-      $ exec_warmup_arg $ exec_repeats_arg $ warm_start_arg $ trace_arg
-      $ metrics_arg)
+      $ exec_warmup_arg $ exec_repeats_arg $ exec_domains_arg
+      $ warm_start_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* schedule                                                           *)

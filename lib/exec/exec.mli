@@ -16,10 +16,14 @@ type clock =
       (** deterministic pseudo-time: every sample is [f prog]; the
           kernel still executes (once) so outputs are produced *)
 
-type cfg = { warmup : int; repeats : int; clock : clock }
+type cfg = { warmup : int; repeats : int; clock : clock; domains : int }
+(** [domains] > 1 runs each kernel's leading parallel band across that
+    many OCaml domains when the disjointness check passes (see
+    {!Kernel.compile}); outputs are bit-identical to [domains = 1]
+    regardless. *)
 
 val default_cfg : cfg
-(** [{ warmup = 2; repeats = 5; clock = Wall }]. *)
+(** [{ warmup = 2; repeats = 5; clock = Wall; domains = 1 }]. *)
 
 (** One measurement: order statistics over the timed samples plus the
     kernel's compile-time coverage counters. *)
@@ -31,6 +35,11 @@ type wall = {
   samples : float array;  (** per-repeat milliseconds, in run order *)
   macro_groups : int;
   generic_groups : int;
+  par_chunks : int;  (** parallel chunks dispatched over all runs *)
+  par_fallbacks : int;  (** 1 iff [domains > 1] could not engage *)
+  imbalance_pct : float;
+      (** (slowest chunk - mean) / mean of the final run, percent; 0
+          when serial *)
 }
 
 val measure : ?cfg:cfg -> Program.t -> bufs:float array array -> wall
@@ -39,8 +48,9 @@ val measure : ?cfg:cfg -> Program.t -> bufs:float array array -> wall
     accumulates, so without the reset each rerun would compute different
     values.  After [measure] returns, [bufs] holds the outputs of the
     final run, element-wise equal to a single interpreter execution.
-    Raises [Invalid_argument] if [repeats < 1] or [warmup < 0], or on a
-    buffer shape mismatch (see {!Kernel.compile}). *)
+    Raises [Invalid_argument] if [repeats < 1], [warmup < 0] or
+    [domains < 1], or on a buffer shape mismatch (see
+    {!Kernel.compile}). *)
 
 val spread : wall -> float
 (** Relative spread [(max - min) / median] of the timed samples: the

@@ -15,7 +15,19 @@
     [lib/machine/profiler.ml] operation for operation — same combine
     functions, same evaluation order, same accumulation chains — so
     outputs are bit-identical to a simulator run of the same program
-    (pinned by test/test_exec.ml). *)
+    (pinned by test/test_exec.ml).
+
+    With [~domains > 1] the leading [Parallel] loops (the band
+    [Schedule.parallel] marks) run chunked across a resident
+    {!Alt_parallel.Team}: the band's iteration space is flattened and
+    split into [min domains points] deterministic contiguous blocks,
+    each executing its own compiled copy of the inner nest.  A
+    compile-time disjointness check (DESIGN.md §15) proves every written
+    buffer is touched at offsets disjoint across parallel indices —
+    reduction chains stay sequential per output element — so outputs
+    stay bit-identical to serial execution.  Programs that fail the
+    check, or have no parallel band, fall back to the serial path and
+    tick [par_fallbacks]. *)
 
 module Program = Alt_ir.Program
 
@@ -27,6 +39,11 @@ type stats = {
   mutable generic_groups : int;  (** groups that fell back *)
   mutable macro_runs : int;  (** innermost-loop executions, macro path *)
   mutable generic_runs : int;  (** innermost-loop executions, fallback *)
+  mutable par_chunks : int;
+      (** chunks dispatched across [run]s (0 when serial) *)
+  mutable par_fallbacks : int;
+      (** 1 when [domains > 1] was requested but the program runs
+          serially (no parallel band, or disjointness check failed) *)
 }
 
 type t = private {
@@ -34,14 +51,20 @@ type t = private {
   bufs : float array array;
   run : unit -> unit;  (** one full execution of the program *)
   stats : stats;
+  par_ms : float array;
+      (** per-chunk wall-clock of the latest parallel [run], in ms;
+          [[||]] on the serial path.  Feeds the imbalance metric. *)
 }
 
-val compile : Program.t -> bufs:float array array -> t
+val compile : ?domains:int -> Program.t -> bufs:float array array -> t
 (** Compile the program against per-slot physical buffers (see
-    [Runtime.alloc_bufs]; lengths are validated).  The returned closure
-    may be invoked repeatedly; note that [Reduce] statements accumulate
-    into whatever the output buffers hold, so re-running without
-    resetting non-input buffers computes a different (larger) result. *)
+    [Runtime.alloc_bufs]; lengths are validated).  [?domains] (default
+    [1]) > 1 engages the parallel driver when legal — outputs are
+    bit-identical either way.  The returned closure may be invoked
+    repeatedly; note that [Reduce] statements accumulate into whatever
+    the output buffers hold, so re-running without resetting non-input
+    buffers computes a different (larger) result.  Raises
+    [Invalid_argument] if [domains < 1]. *)
 
 val reset_non_inputs : t -> unit
 (** Zero every non-[Input] buffer, restoring the post-[alloc_bufs]

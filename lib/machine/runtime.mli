@@ -21,8 +21,11 @@ val output_logical : Program.t -> float array array -> string -> float array
 type backend = Sim | Exec of Alt_exec.Exec.cfg
 
 val backend_tag : backend -> string
-(** Short stable tag ("sim", "exec:w2:r5:wall", ...) used in
-    measurement-cache fingerprints: sim and exec results never mix. *)
+(** Short stable tag ("sim", "exec:w2:r5:wall", "exec:w2:r5:wall:d4",
+    ...) used in measurement-cache fingerprints: sim and exec results
+    never mix, and neither do exec results at different domain counts.
+    The [:dN] suffix is omitted at [domains = 1] so fingerprints from
+    before the knob existed remain valid. *)
 
 val result_of_wall :
   machine:Machine.t -> Program.t -> Alt_exec.Exec.wall -> Profiler.result

@@ -1,0 +1,174 @@
+(* Resident domain team with a barrier-style parallel_for (see the .mli
+   for the contract and the contrast with Pool's per-batch domains).
+
+   One job at a time: callers serialize on [sub], then publish the job
+   under [lock] by bumping [generation] and broadcasting [work].  Worker
+   domains park on [work] between jobs; chunk indices are handed out by
+   an atomic cursor (work sharing, no stealing), and the last completed
+   chunk broadcasts [done_c] to release the caller's barrier wait.  The
+   caller participates in the drain, so a team of N uses N-1 resident
+   workers plus the calling domain.
+
+   Failures are deterministic: every chunk runs even after another chunk
+   raised, failures land in a per-job slot array indexed by chunk, and
+   the barrier re-raises the lowest-indexed one — the same discipline as
+   Pool.map, minus backtrace bookkeeping (kernel chunks share no state,
+   so a failing chunk cannot poison its neighbours). *)
+
+type job = {
+  f : int -> unit;
+  chunks : int;
+  cursor : int Atomic.t;
+  completed : int Atomic.t;
+  failures : exn option array;
+}
+
+type t = {
+  size : int;
+  lock : Mutex.t; (* guards [job], [generation], [stop] *)
+  work : Condition.t; (* workers: a new job (or stop) is available *)
+  done_c : Condition.t; (* caller: all chunks of the job completed *)
+  sub : Mutex.t; (* serializes parallel_for callers *)
+  mutable job : job option;
+  mutable generation : int;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let domains t = t.size
+
+(* Drain the current job's cursor, recording failures by chunk index.
+   The completed counter only reaches [chunks] after every chunk body
+   has returned, which is what makes the caller's wait a true barrier. *)
+let drain t (j : job) =
+  let rec pick () =
+    let i = Atomic.fetch_and_add j.cursor 1 in
+    if i < j.chunks then begin
+      (try j.f i with e -> j.failures.(i) <- Some e);
+      let c = 1 + Atomic.fetch_and_add j.completed 1 in
+      if c = j.chunks then begin
+        Mutex.lock t.lock;
+        Condition.broadcast t.done_c;
+        Mutex.unlock t.lock
+      end;
+      pick ()
+    end
+  in
+  pick ()
+
+let rec worker_loop t gen =
+  Mutex.lock t.lock;
+  while t.generation = gen && not t.stop do
+    Condition.wait t.work t.lock
+  done;
+  if t.stop then Mutex.unlock t.lock
+  else begin
+    let mygen = t.generation in
+    let j = t.job in
+    Mutex.unlock t.lock;
+    (match j with Some j -> drain t j | None -> ());
+    worker_loop t mygen
+  end
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Team.create: domains must be >= 1";
+  let t =
+    {
+      size = domains;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      done_c = Condition.create ();
+      sub = Mutex.create ();
+      job = None;
+      generation = 0;
+      stop = false;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  let ws = t.workers in
+  t.stop <- true;
+  t.workers <- [];
+  Condition.broadcast t.work;
+  Mutex.unlock t.lock;
+  List.iter Domain.join ws
+
+let run_serial ~chunks f =
+  for i = 0 to chunks - 1 do
+    f i
+  done
+
+let parallel_for t ~chunks f =
+  if chunks < 0 then invalid_arg "Team.parallel_for: chunks must be >= 0";
+  if chunks = 0 then ()
+  else if t.size = 1 || chunks = 1 then run_serial ~chunks f
+  else begin
+    Mutex.lock t.sub;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.sub)
+      (fun () ->
+        let j =
+          {
+            f;
+            chunks;
+            cursor = Atomic.make 0;
+            completed = Atomic.make 0;
+            failures = Array.make chunks None;
+          }
+        in
+        Mutex.lock t.lock;
+        if t.stop then begin
+          (* workers already joined: degrade to the serial path *)
+          Mutex.unlock t.lock;
+          run_serial ~chunks f
+        end
+        else begin
+          t.job <- Some j;
+          t.generation <- t.generation + 1;
+          Condition.broadcast t.work;
+          Mutex.unlock t.lock;
+          drain t j;
+          Mutex.lock t.lock;
+          while Atomic.get j.completed < j.chunks do
+            Condition.wait t.done_c t.lock
+          done;
+          t.job <- None;
+          Mutex.unlock t.lock;
+          Array.iter (function Some e -> raise e | None -> ()) j.failures
+        end)
+  end
+
+(* Process-wide shared teams, one per size, shut down at exit so no
+   worker domain is left parked on a condition variable when the runtime
+   tears down. *)
+let global : (int, t) Hashtbl.t = Hashtbl.create 4
+let global_lock = Mutex.create ()
+let exit_hooked = ref false
+
+let get ~domains =
+  if domains < 1 then invalid_arg "Team.get: domains must be >= 1";
+  Mutex.lock global_lock;
+  let t =
+    match Hashtbl.find_opt global domains with
+    | Some t -> t
+    | None ->
+        let t = create ~domains in
+        Hashtbl.replace global domains t;
+        if not !exit_hooked then begin
+          exit_hooked := true;
+          at_exit (fun () ->
+              Mutex.lock global_lock;
+              let ts = Hashtbl.fold (fun _ t acc -> t :: acc) global [] in
+              Hashtbl.reset global;
+              Mutex.unlock global_lock;
+              List.iter shutdown ts)
+        end;
+        t
+  in
+  Mutex.unlock global_lock;
+  t

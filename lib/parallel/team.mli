@@ -1,0 +1,50 @@
+(** A resident domain team with a barrier-style [parallel_for] — the
+    execution engine under the exec backend's parallel macro-kernels
+    (DESIGN.md §15).
+
+    {!Pool} spawns domains per batch, which is the right trade for
+    second-long measurement batches but not for latency-sensitive kernel
+    invocations: a compiled macro-kernel runs for micro- to milliseconds
+    and is re-entered once per warmup/timed repeat, so the ~10us+ spawn
+    and join cost per run would swamp the parallel gain.  A team keeps
+    its worker domains alive across jobs: submitting a job is a mutex
+    broadcast, and completion is a condition-variable barrier.
+
+    Chunks are identified by index, not by executing domain: which
+    worker runs which chunk is a race, but callers that key all mutable
+    state by chunk index (as the exec kernels do) get results that are
+    independent of the scheduling, so the team adds no nondeterminism.
+
+    Teams compose with {!Pool}: [parallel_for] may be called from inside
+    a pool task (the tuner's [--jobs] fan-out measuring with
+    [--exec-domains] does exactly that).  Concurrent jobs from racing
+    callers serialize on an internal submission lock — each job still
+    runs with the full team. *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains] spawns [domains - 1] resident worker domains (the
+    caller is the remaining lane).  Raises [Invalid_argument] if
+    [domains < 1]. *)
+
+val domains : t -> int
+
+val parallel_for : t -> chunks:int -> (int -> unit) -> unit
+(** [parallel_for t ~chunks f] runs [f 0 .. f (chunks - 1)], distributing
+    chunk indices over the team's lanes (work sharing by atomic cursor),
+    and returns only after every chunk has completed — a full barrier.
+    The calling domain participates.  If any [f i] raises, the exception
+    of the {e lowest} failing chunk index is re-raised after the barrier
+    (every chunk still runs).  [chunks = 0] is a no-op; with
+    [domains = 1] or [chunks = 1] the chunks run serially on the caller
+    with no synchronization. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent; the team afterwards degrades
+    to serial execution ([parallel_for] still works on the caller). *)
+
+val get : domains:int -> t
+(** The process-wide shared team of the given size, created (and
+    registered for [at_exit] shutdown) on first use.  Teams of different
+    sizes coexist; repeated calls return the same team. *)

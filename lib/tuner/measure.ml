@@ -95,6 +95,20 @@ type shared_store = {
   s_publish_quarantine : string -> string -> unit;
 }
 
+type buf_stats = { mutable buf_hits : int; mutable buf_misses : int }
+
+(* Per-task physical-buffer reuse for the measurement path: packed input
+   arrays keyed by (slot name, layout) — candidates sharing a layout
+   share one immutable pack — and a per-length free list of output/temp
+   scratch arrays, zero-filled on acquire (same state [Array.make _ 0.0]
+   gives).  Mutex-protected: [simulate] runs on pool worker domains. *)
+type buf_cache = {
+  bc_lock : Mutex.t;
+  bc_packs : (string, float array) Hashtbl.t;
+  bc_scratch : (int, float array list ref) Hashtbl.t;
+  bstats : buf_stats;
+}
+
 type task = {
   op : Opdef.t;
   fused : Opdef.t list;
@@ -103,6 +117,7 @@ type task = {
   fast : bool; (* line-granular fast simulation (counter-identical) *)
   backend : Runtime.backend; (* which device measures candidates *)
   feeds : (string * float array) list; (* logical data for all inputs *)
+  bufcache : buf_cache;
   mutable spent : int; (* measurements consumed *)
   cache : (string, Profiler.result) Hashtbl.t;
       (* canonical program digest -> simulator result *)
@@ -154,6 +169,13 @@ let make_task ?(fused = []) ?(max_points = 40_000) ?(seed = 11)
     fast;
     backend;
     feeds;
+    bufcache =
+      {
+        bc_lock = Mutex.create ();
+        bc_packs = Hashtbl.create 32;
+        bc_scratch = Hashtbl.create 32;
+        bstats = { buf_hits = 0; buf_misses = 0 };
+      };
     spent = 0;
     cache = Hashtbl.create 64;
     stats = { hits = 0; misses = 0 };
@@ -174,6 +196,7 @@ let make_task ?(fused = []) ?(max_points = 40_000) ?(seed = 11)
 let cache_stats t = t.stats
 let fault_stats t = t.fstats
 let lower_stats t = t.lstats
+let buf_stats t = t.bufcache.bstats
 let lower_cache_sizes t = (Hashtbl.length t.lcache, Hashtbl.length t.fcache)
 
 (* Digest of a candidate's (choice, schedule) pair — the key of the
@@ -437,28 +460,98 @@ let candidate_key (t : task) (choice : Propagate.choice)
 (* One measurement: pack inputs through the candidate's layouts, allocate
    outputs/temps, then run the task's backend — the cache simulator, or
    the exec device (compiled macro-kernels timed for real; DESIGN.md
-   §12).  Pure w.r.t. the task (reads feeds/machine only), so it is safe
-   to run concurrently from pool workers; under [Exec] with a [Wall]
-   clock the result is real time and thus not reproducible — trajectory
-   determinism tests use a [Virtual] exec clock. *)
-let simulate (t : task) (prog : Program.t) : Profiler.result =
+   §12).  Buffers come from the task's [buf_cache] — packed inputs are
+   shared read-only across candidates with the same layout, scratch is
+   recycled through per-length free lists — and the cache is
+   mutex-protected, so it is safe to run concurrently from pool workers;
+   under [Exec] with a [Wall] clock the result is real time and thus not
+   reproducible — trajectory determinism tests use a [Virtual] exec
+   clock. *)
+(* Input slots are served from the pack cache only when the program never
+   writes them — true of every lowered program today, but checked so a
+   hypothetical in-place op cannot corrupt a shared pack. *)
+let writes_input (prog : Program.t) : bool =
+  let dirty = ref false in
+  Program.iter_stmt
+    (function
+      | Program.Store (a, _) | Program.Reduce (a, _, _) ->
+          if prog.Program.slots.(a.Program.slot).Program.role = Program.Input
+          then dirty := true
+      | _ -> ())
+    prog.Program.body;
+  !dirty
+
+let acquire_bufs (t : task) (prog : Program.t) : float array array =
+  let bc = t.bufcache in
+  let cacheable_inputs = not (writes_input prog) in
+  Mutex.lock bc.bc_lock;
   let bufs =
     Array.map
       (fun (s : Program.slot) ->
         match s.Program.role with
+        | Program.Input when cacheable_inputs -> (
+            let key =
+              s.Program.sname ^ "|"
+              ^ Digest.string (Marshal.to_string s.Program.layout [])
+            in
+            match Hashtbl.find_opt bc.bc_packs key with
+            | Some a ->
+                bc.bstats.buf_hits <- bc.bstats.buf_hits + 1;
+                a
+            | None ->
+                bc.bstats.buf_misses <- bc.bstats.buf_misses + 1;
+                let a =
+                  Layout.pack s.Program.layout
+                    (List.assoc s.Program.sname t.feeds)
+                in
+                Hashtbl.replace bc.bc_packs key a;
+                a)
         | Program.Input ->
             Layout.pack s.Program.layout (List.assoc s.Program.sname t.feeds)
-        | Program.Output | Program.Temp ->
-            Array.make (Layout.num_physical_elements s.Program.layout) 0.0)
+        | Program.Output | Program.Temp -> (
+            let n = Layout.num_physical_elements s.Program.layout in
+            match Hashtbl.find_opt bc.bc_scratch n with
+            | Some ({ contents = a :: rest } as l) ->
+                bc.bstats.buf_hits <- bc.bstats.buf_hits + 1;
+                l := rest;
+                Array.fill a 0 n 0.0;
+                a
+            | Some _ | None ->
+                bc.bstats.buf_misses <- bc.bstats.buf_misses + 1;
+                Array.make n 0.0))
       prog.Program.slots
   in
-  match t.backend with
-  | Runtime.Sim ->
-      Profiler.run ~machine:t.machine ~max_points:t.max_points ~fast:t.fast
-        prog ~bufs
-  | Runtime.Exec cfg ->
-      let w = Alt_exec.Exec.measure ~cfg prog ~bufs in
-      Runtime.result_of_wall ~machine:t.machine prog w
+  Mutex.unlock bc.bc_lock;
+  bufs
+
+(* Return output/temp scratch to the free lists; the shared input packs
+   stay keyed in the cache. *)
+let release_bufs (t : task) (prog : Program.t) (bufs : float array array) =
+  let bc = t.bufcache in
+  Mutex.lock bc.bc_lock;
+  Array.iteri
+    (fun i (s : Program.slot) ->
+      if s.Program.role <> Program.Input then begin
+        let n = Array.length bufs.(i) in
+        match Hashtbl.find_opt bc.bc_scratch n with
+        | Some l -> l := bufs.(i) :: !l
+        | None -> Hashtbl.replace bc.bc_scratch n (ref [ bufs.(i) ])
+      end)
+    prog.Program.slots;
+  Mutex.unlock bc.bc_lock
+
+let simulate (t : task) (prog : Program.t) : Profiler.result =
+  let bufs = acquire_bufs t prog in
+  Fun.protect
+    ~finally:(fun () -> release_bufs t prog bufs)
+    (fun () ->
+      match t.backend with
+      | Runtime.Sim ->
+          Profiler.run ~machine:t.machine ~max_points:t.max_points
+            ~fast:t.fast prog ~bufs
+      | Runtime.Exec cfg ->
+          let w = Alt_exec.Exec.measure ~cfg prog ~bufs in
+          Runtime.result_of_wall ~machine:t.machine prog w)
 
 (* Iteration points of a program — what the watchdog compares against its
    hard cap. *)
@@ -725,6 +818,8 @@ let m_prog_hits = Alt_obs.Metrics.counter "measure.lower.prog_hits"
 let m_prog_misses = Alt_obs.Metrics.counter "measure.lower.prog_misses"
 let m_feat_hits = Alt_obs.Metrics.counter "measure.lower.feat_hits"
 let m_feat_misses = Alt_obs.Metrics.counter "measure.lower.feat_misses"
+let m_buf_hits = Alt_obs.Metrics.counter "measure.bufs.hits"
+let m_buf_misses = Alt_obs.Metrics.counter "measure.bufs.misses"
 let m_faulted = Alt_obs.Metrics.counter "measure.faults.faulted"
 let m_retried = Alt_obs.Metrics.counter "measure.faults.retried"
 let m_recovered = Alt_obs.Metrics.counter "measure.faults.recovered"
@@ -739,6 +834,8 @@ let publish_obs (t : task) =
   Alt_obs.Metrics.add_raw m_prog_misses t.lstats.prog_misses;
   Alt_obs.Metrics.add_raw m_feat_hits t.lstats.feat_hits;
   Alt_obs.Metrics.add_raw m_feat_misses t.lstats.feat_misses;
+  Alt_obs.Metrics.add_raw m_buf_hits t.bufcache.bstats.buf_hits;
+  Alt_obs.Metrics.add_raw m_buf_misses t.bufcache.bstats.buf_misses;
   Alt_obs.Metrics.add_raw m_faulted t.fstats.faulted;
   Alt_obs.Metrics.add_raw m_retried t.fstats.retried;
   Alt_obs.Metrics.add_raw m_recovered t.fstats.recovered;

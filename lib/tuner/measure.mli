@@ -78,6 +78,19 @@ type shared_store = {
     measurement context in [lib/serve].  Like [fast]/[memo], [shared] is
     deliberately excluded from {!fingerprint}. *)
 
+type buf_stats = { mutable buf_hits : int; mutable buf_misses : int }
+(** Counters of the physical-buffer reuse cache in the measurement path:
+    a hit is a slot served without allocating (a shared input pack, or a
+    recycled zero-filled scratch array), a miss is a fresh allocation.
+    Counts are per slot acquisition.  With [--jobs > 1] the split
+    between hits and misses depends on worker interleaving (free-list
+    reuse is first-come-first-served); the measured results never do. *)
+
+type buf_cache
+(** Mutex-protected per-task buffer cache (internal): packed input
+    arrays keyed by (slot, layout), scratch arrays in per-length free
+    lists. *)
+
 type task = {
   op : Opdef.t;
   fused : Opdef.t list;
@@ -94,6 +107,7 @@ type task = {
           real ({!Runtime.Exec}); included in {!fingerprint}, so sim and
           exec checkpoints never mix *)
   feeds : (string * float array) list;
+  bufcache : buf_cache;  (** physical-buffer reuse; see {!buf_stats} *)
   mutable spent : int; (** measurements consumed (cache hits included) *)
   cache : (string, Profiler.result) Hashtbl.t;
       (** canonical program digest -> result; internal *)
@@ -139,6 +153,9 @@ val cache_stats : task -> cache_stats
 val fault_stats : task -> fault_stats
 
 val lower_stats : task -> lower_stats
+
+val buf_stats : task -> buf_stats
+(** Hit/miss counters of the buffer-reuse cache (see {!buf_stats}). *)
 
 val lower_cache_sizes : task -> int * int
 (** [(lowered entries, feature entries)] currently memoized — with the
