@@ -1,8 +1,8 @@
 # Tier-1 gate: everything builds, every test suite passes.
 .PHONY: all check test bench bench-profiler bench-profiler-smoke \
 	bench-tuner bench-tuner-smoke fault-smoke obs-smoke exec-smoke \
-	serve-smoke bench-crossval bench-crossval-smoke bench-exec \
-	bench-exec-smoke bench-e2e bench-e2e-smoke clean
+	serve-smoke relation-smoke bench-crossval bench-crossval-smoke \
+	bench-exec bench-exec-smoke bench-e2e bench-e2e-smoke clean
 
 all:
 	dune build @all
@@ -69,6 +69,14 @@ exec-smoke:
 	  --out-channels 8 --spatial 8 --budget 16 --seed 1 \
 	  --backend exec --exec-warmup 1 --exec-repeats 3
 
+# Relation-algebra gate: the QCheck2 round-trip/differential suite for
+# the layout relation algebra (DESIGN.md §16) at a reduced chain count.
+# ALT_RELATION_COUNT scales every property (default 500 under
+# `dune runtest`, 60 here); ALT_LAYOUT_REFERENCE=1 at runtime pins the
+# kept-verbatim seed pack/unpack for A/B debugging.
+relation-smoke:
+	ALT_RELATION_COUNT=60 dune exec test/test_relation.exe
+
 # cross-device validation: measures the layout zoo with both the
 # simulator and the exec backend, writes BENCH_crossval.json, and fails
 # if the miss-bound streaming workload's Spearman rho drops below the
@@ -102,8 +110,8 @@ bench-e2e:
 bench-e2e-smoke:
 	ALT_BENCH_SCALE=smoke dune exec bench/bench_e2e.exe
 
-check: all test bench-profiler-smoke bench-tuner-smoke fault-smoke \
-	obs-smoke exec-smoke serve-smoke bench-crossval-smoke \
+check: all test relation-smoke bench-profiler-smoke bench-tuner-smoke \
+	fault-smoke obs-smoke exec-smoke serve-smoke bench-crossval-smoke \
 	bench-exec-smoke bench-e2e-smoke
 
 # quick-scale regeneration of the paper's tables and figures

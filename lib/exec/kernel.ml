@@ -124,8 +124,7 @@ let rec compile_cond vm (c : Sexpr.cond) : int array -> bool =
 
 let compile_offset vm (slots : Program.slot array) (a : Program.access) :
     int array -> int =
-  let phys = Layout.physical_shape slots.(a.Program.slot).Program.layout in
-  let strides = Shape.strides phys in
+  let strides = Layout.phys_strides slots.(a.Program.slot).Program.layout in
   let fs = Array.map (compile_ix vm) a.Program.idx in
   let n = Array.length fs in
   fun env ->
@@ -139,8 +138,7 @@ let compile_offset vm (slots : Program.slot array) (a : Program.access) :
    [a]; [None] when not affine in [v]. *)
 let affine_stride (slots : Program.slot array) (a : Program.access)
     (v : Var.t) : int option =
-  let phys = Layout.physical_shape slots.(a.Program.slot).Program.layout in
-  let strides = Shape.strides phys in
+  let strides = Layout.phys_strides slots.(a.Program.slot).Program.layout in
   let total = ref (Some 0) in
   Array.iteri
     (fun i e ->
@@ -566,8 +564,7 @@ let parallel_legal (p : Program.t) (par_loops : Program.loop list) : bool =
   (* Profile of one access: (var id -> aggregate element stride) sorted
      assoc + constant-offset range. *)
   let profile (a : Program.access) : (int * int) list * int * int =
-    let phys = Layout.physical_shape slots.(a.Program.slot).Program.layout in
-    let strides = Shape.strides phys in
+    let strides = Layout.phys_strides slots.(a.Program.slot).Program.layout in
     let tbl : (int, int) Hashtbl.t = Hashtbl.create 8 in
     let lo = ref 0 and hi = ref 0 in
     Array.iteri

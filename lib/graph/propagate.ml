@@ -97,8 +97,7 @@ let plan ?(mode = Full) (g : Graph.t)
                      && (not (Hashtbl.mem claimed cons.Graph.op.Opdef.out_name))
                      && not (Layout.has_advanced ch.out_layout) ->
                   let cl =
-                    Layout.of_prims cons.Graph.op.Opdef.out_shape
-                      (Layout.prims ch.out_layout)
+                    Layout.replay cons.Graph.op.Opdef.out_shape ch.out_layout
                   in
                   Hashtbl.replace storage cons.Graph.op.Opdef.out_name cl;
                   Hashtbl.replace claimed cons.Graph.op.Opdef.out_name ();

@@ -11,6 +11,23 @@
    - moving concrete data ([pack] / [unpack], used by conversion operators,
      offline weight packing and test oracles).
 
+   Concrete index semantics (shape deduction, pack/unpack, forward/backward
+   point maps, strides, conversion cost) are expressed through the
+   {!Relation} algebra (DESIGN.md §16): every layout owns a canonical
+   index relation, derived incrementally as primitives are applied and
+   memoized per domain.  The record itself stays the seed
+   [{ logical; prims }] pair — candidate digests, fault-injection keys and
+   checkpoints all [Marshal] values containing layouts, so the wire shape
+   must not change.  The symbolic rewrites ([forward_exprs],
+   [inverse_exprs], [logical_of_physical]) intentionally keep walking the
+   primitive list verbatim: canonicalized relations could emit different
+   (equivalent) index expressions and perturb tuning trajectories.
+
+   The seed implementations of the concrete maps are kept verbatim in
+   {!Reference} as the differential oracle (test/test_relation.ml proves
+   byte-identity); [ALT_LAYOUT_REFERENCE=1] routes production entry points
+   back through them, same escape-hatch pattern as [ALT_GBDT_REFERENCE].
+
    Physical buffers are always row-major over the physical shape.
 
    [store_at] couples two tensors and is therefore represented at the graph
@@ -77,7 +94,14 @@ let unfold_tiles ~d ~tile ~stride =
 (* Shape deduction.                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let shape_step (s : Shape.t) = function
+(* Ticks once per primitive validated: the regression test for the
+   incremental [apply]/[of_prims]/[replay] path asserts an n-primitive
+   chain costs exactly n validations, not the seed's n(n+1)/2. *)
+let m_validate = Alt_obs.Metrics.counter "layout.relation.validate"
+
+let shape_step (s : Shape.t) p =
+  Alt_obs.Metrics.incr m_validate;
+  match p with
   | Split { dim; factors } ->
       if dim < 0 || dim >= Shape.rank s then err "split: dim %d out of range" dim;
       let p = List.fold_left ( * ) 1 factors in
@@ -133,8 +157,56 @@ let shape_trace t : Shape.t list =
   in
   go t.logical t.prims
 
-let physical_shape t =
-  List.fold_left shape_step t.logical t.prims
+(* ------------------------------------------------------------------ *)
+(* Derived relation (memoized).                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The relation step of one primitive, given the shape it applies to
+   ([fuse] needs the extents it collapses). *)
+let prim_relation (s : Shape.t) = function
+  | Split { dim; factors } ->
+      Relation.decode s ~dim ~radices:(Array.of_list factors)
+  | Reorder perm -> Relation.permute s perm
+  | Fuse { dim; count } -> Relation.encode s ~dim ~radices:(Array.sub s dim count)
+  | Unfold { dim; tile; stride } -> Relation.window s ~dim ~tile ~stride
+  | Pad { dim; lo; hi } -> Relation.shift s ~dim ~lo ~hi
+
+type derived = { phys : Shape.t; rel : Relation.t }
+
+(* Per-domain memo of derived state, keyed structurally by the layout
+   itself.  [apply] extends the parent's entry, so growing a chain
+   validates each new primitive exactly once; worker domains re-derive
+   lazily on first use (the table is domain-local — no locking). *)
+let memo_key : (t, derived) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+
+let memo_cap = 65536
+
+let memo_put t d =
+  let tbl = Domain.DLS.get memo_key in
+  if Hashtbl.length tbl >= memo_cap then Hashtbl.reset tbl;
+  Hashtbl.replace tbl t d
+
+let extend_derived d p =
+  (* validate against the cached physical shape — one [shape_step] — and
+     push the primitive's relation onto the canonical chain *)
+  let phys = shape_step d.phys p in
+  { phys; rel = Relation.compose d.rel (prim_relation d.phys p) }
+
+let derived t =
+  let tbl = Domain.DLS.get memo_key in
+  match Hashtbl.find_opt tbl t with
+  | Some d -> d
+  | None ->
+      let d0 = { phys = t.logical; rel = Relation.id t.logical } in
+      let d = List.fold_left extend_derived d0 t.prims in
+      memo_put t d;
+      d
+
+let physical_shape t = (derived t).phys
+let relation t = (derived t).rel
+let phys_strides t = Relation.range_strides (derived t).rel
+let conversion_cost t = Relation.conversion_cost (derived t).rel
 
 (* ------------------------------------------------------------------ *)
 (* Primitive constructors (validated against the current shape).       *)
@@ -142,9 +214,12 @@ let physical_shape t =
 
 let apply t p =
   (* Validation happens eagerly so misuse fails at schedule-construction
-     time, not deep inside lowering. *)
-  let (_ : Shape.t) = shape_step (physical_shape t) p in
-  { t with prims = t.prims @ [ p ] }
+     time, not deep inside lowering; only the new primitive is checked —
+     the memoized parent relation already proves the prefix. *)
+  let d = extend_derived (derived t) p in
+  let t' = { t with prims = t.prims @ [ p ] } in
+  memo_put t' d;
+  t'
 
 let split t ~dim ~factors = apply t (Split { dim; factors })
 let reorder t perm = apply t (Reorder (Array.copy perm))
@@ -371,166 +446,248 @@ let logical_of_physical ?(bounds = Ixexpr.no_bounds) t (idx : Ixexpr.t array) :
     List.map (fun (e, d) -> (Ixexpr.simplify ~bounds e, d)) !conds )
 
 (* ------------------------------------------------------------------ *)
-(* Concrete data movement.                                            *)
+(* Concrete data movement (relation-backed, seed kept as oracle).      *)
 (* ------------------------------------------------------------------ *)
 
-(* Map a physical multi-index to its logical source (total even for unfold
-   and pad; pad out-of-range positions return None => zero fill). *)
-let concrete_logical_of_physical t : int array -> int array option =
-  let trace = Array.of_list (shape_trace t) in
-  let prims = Array.of_list t.prims in
-  let n = Array.length prims in
-  fun phys ->
-    let cur = ref (Array.copy phys) in
-    let ok = ref true in
-    (try
-       for i = n - 1 downto 0 do
-         let shape_before = trace.(i) in
-         let idx = !cur in
-         (cur :=
-            match prims.(i) with
-            | Split { dim; factors } ->
-                let sizes = Array.of_list factors in
-                let m = Array.length sizes in
-                let v = ref 0 in
-                for j = 0 to m - 1 do
-                  v := (!v * sizes.(j)) + idx.(dim + j)
-                done;
-                Array.concat
-                  [
-                    Array.sub idx 0 dim;
-                    [| !v |];
-                    Array.sub idx (dim + m) (Array.length idx - dim - m);
-                  ]
-            | Reorder perm ->
-                let out = Array.make (Array.length idx) 0 in
-                Array.iteri (fun i pdim -> out.(pdim) <- idx.(i)) perm;
-                out
-            | Fuse { dim; count } ->
-                let sizes = Array.sub shape_before dim count in
-                let out = Array.make count 0 in
-                let v = ref idx.(dim) in
-                for j = count - 1 downto 0 do
-                  out.(j) <- !v mod sizes.(j);
-                  v := !v / sizes.(j)
-                done;
-                Array.concat
-                  [
-                    Array.sub idx 0 dim;
-                    out;
-                    Array.sub idx (dim + 1) (Array.length idx - dim - 1);
-                  ]
-            | Unfold { dim; tile = _; stride } ->
-                let v = (idx.(dim) * stride) + idx.(dim + 1) in
-                if v >= shape_before.(dim) then raise Exit;
-                Array.concat
-                  [
-                    Array.sub idx 0 dim;
-                    [| v |];
-                    Array.sub idx (dim + 2) (Array.length idx - dim - 2);
-                  ]
-            | Pad { dim; lo; hi = _ } ->
-                let v = idx.(dim) - lo in
-                if v < 0 || v >= shape_before.(dim) then raise Exit;
-                let idx' = Array.copy idx in
-                idx'.(dim) <- v;
-                idx')
-       done
-     with Exit -> ok := false);
-    if !ok then Some !cur else None
+(* The seed implementations, verbatim: per-primitive backward/forward
+   walks over the primitive list.  They are the differential oracle the
+   QCheck2 suite pins the relation path against, and the
+   [ALT_LAYOUT_REFERENCE=1] escape hatch at runtime. *)
+module Reference = struct
+  let physical_shape t = List.fold_left shape_step t.logical t.prims
+
+  (* Map a physical multi-index to its logical source (total even for unfold
+     and pad; pad out-of-range positions return None => zero fill). *)
+  let concrete_logical_of_physical t : int array -> int array option =
+    let trace = Array.of_list (shape_trace t) in
+    let prims = Array.of_list t.prims in
+    let n = Array.length prims in
+    fun phys ->
+      let cur = ref (Array.copy phys) in
+      let ok = ref true in
+      (try
+         for i = n - 1 downto 0 do
+           let shape_before = trace.(i) in
+           let idx = !cur in
+           (cur :=
+              match prims.(i) with
+              | Split { dim; factors } ->
+                  let sizes = Array.of_list factors in
+                  let m = Array.length sizes in
+                  let v = ref 0 in
+                  for j = 0 to m - 1 do
+                    v := (!v * sizes.(j)) + idx.(dim + j)
+                  done;
+                  Array.concat
+                    [
+                      Array.sub idx 0 dim;
+                      [| !v |];
+                      Array.sub idx (dim + m) (Array.length idx - dim - m);
+                    ]
+              | Reorder perm ->
+                  let out = Array.make (Array.length idx) 0 in
+                  Array.iteri (fun i pdim -> out.(pdim) <- idx.(i)) perm;
+                  out
+              | Fuse { dim; count } ->
+                  let sizes = Array.sub shape_before dim count in
+                  let out = Array.make count 0 in
+                  let v = ref idx.(dim) in
+                  for j = count - 1 downto 0 do
+                    out.(j) <- !v mod sizes.(j);
+                    v := !v / sizes.(j)
+                  done;
+                  Array.concat
+                    [
+                      Array.sub idx 0 dim;
+                      out;
+                      Array.sub idx (dim + 1) (Array.length idx - dim - 1);
+                    ]
+              | Unfold { dim; tile = _; stride } ->
+                  let v = (idx.(dim) * stride) + idx.(dim + 1) in
+                  if v >= shape_before.(dim) then raise Exit;
+                  Array.concat
+                    [
+                      Array.sub idx 0 dim;
+                      [| v |];
+                      Array.sub idx (dim + 2) (Array.length idx - dim - 2);
+                    ]
+              | Pad { dim; lo; hi = _ } ->
+                  let v = idx.(dim) - lo in
+                  if v < 0 || v >= shape_before.(dim) then raise Exit;
+                  let idx' = Array.copy idx in
+                  idx'.(dim) <- v;
+                  idx')
+         done
+       with Exit -> ok := false);
+      if !ok then Some !cur else None
+
+  let pack t (src : float array) : float array =
+    if Array.length src <> Shape.num_elements t.logical then
+      err "pack: source size %d <> logical elements %d" (Array.length src)
+        (Shape.num_elements t.logical);
+    let phys = physical_shape t in
+    let dst = Array.make (Shape.num_elements phys) 0.0 in
+    let back = concrete_logical_of_physical t in
+    let lstrides = Shape.strides t.logical in
+    for off = 0 to Array.length dst - 1 do
+      let pidx = Shape.index_of_offset phys off in
+      match back pidx with
+      | None -> () (* zero fill (padding / overrun) *)
+      | Some lidx ->
+          let loff = ref 0 in
+          Array.iteri (fun i x -> loff := !loff + (x * lstrides.(i))) lidx;
+          dst.(off) <- src.(!loff)
+    done;
+    dst
+
+  let unpack t (src : float array) : float array =
+    (* Defined for any layout: every physical element maps back to a logical
+       position; duplicated (unfolded) elements agree by construction. *)
+    let phys = physical_shape t in
+    if Array.length src <> Shape.num_elements phys then
+      err "unpack: source size %d <> physical elements %d" (Array.length src)
+        (Shape.num_elements phys);
+    let dst = Array.make (Shape.num_elements t.logical) 0.0 in
+    let back = concrete_logical_of_physical t in
+    let lstrides = Shape.strides t.logical in
+    for off = 0 to Array.length src - 1 do
+      let pidx = Shape.index_of_offset phys off in
+      match back pidx with
+      | None -> ()
+      | Some lidx ->
+          let loff = ref 0 in
+          Array.iteri (fun i x -> loff := !loff + (x * lstrides.(i))) lidx;
+          dst.(!loff) <- src.(off)
+    done;
+    dst
+
+  (* Concrete logical index -> physical index; rejects unfold (one-to-many).
+     Used by reference executors and [unpack] round-trip tests. *)
+  let eval_fwd t : int array -> int array =
+    if List.exists (function Unfold _ -> true | _ -> false) t.prims then
+      err "eval_fwd: layout has unfold (one-to-many mapping)";
+    let prims = t.prims in
+    let trace = shape_trace t in
+    fun lidx ->
+      let rec go idx shapes prims =
+        match (shapes, prims) with
+        | _, [] -> idx
+        | shape :: shapes', p :: prims' ->
+            let idx' =
+              match p with
+              | Split { dim; factors } ->
+                  let sizes = Array.of_list factors in
+                  let m = Array.length sizes in
+                  let out = Array.make m 0 in
+                  let v = ref idx.(dim) in
+                  for j = m - 1 downto 0 do
+                    out.(j) <- !v mod sizes.(j);
+                    v := !v / sizes.(j)
+                  done;
+                  Array.concat
+                    [
+                      Array.sub idx 0 dim;
+                      out;
+                      Array.sub idx (dim + 1) (Array.length idx - dim - 1);
+                    ]
+              | Reorder perm -> Array.map (fun pdim -> idx.(pdim)) perm
+              | Fuse { dim; count } ->
+                  let sizes = Array.sub shape dim count in
+                  let v = ref 0 in
+                  for j = 0 to count - 1 do
+                    v := (!v * sizes.(j)) + idx.(dim + j)
+                  done;
+                  Array.concat
+                    [
+                      Array.sub idx 0 dim;
+                      [| !v |];
+                      Array.sub idx (dim + count) (Array.length idx - dim - count);
+                    ]
+              | Pad { dim; lo; hi = _ } ->
+                  let idx' = Array.copy idx in
+                  idx'.(dim) <- idx.(dim) + lo;
+                  idx'
+              | Unfold _ -> assert false
+            in
+            go idx' shapes' prims'
+        | [], _ :: _ -> assert false
+      in
+      go (Array.copy lidx) trace prims
+
+  let phys_index t =
+    let fwd = eval_fwd t in
+    let phys = physical_shape t in
+    fun lidx -> Shape.offset_of_index phys (fwd lidx)
+end
+
+let m_fallback = Alt_obs.Metrics.counter "layout.relation.fallback"
+
+let reference_mode () =
+  match Sys.getenv_opt "ALT_LAYOUT_REFERENCE" with
+  | Some ("1" | "true" | "yes") ->
+      Alt_obs.Metrics.incr m_fallback;
+      true
+  | _ -> false
 
 let pack t (src : float array) : float array =
-  if Array.length src <> Shape.num_elements t.logical then
-    err "pack: source size %d <> logical elements %d" (Array.length src)
-      (Shape.num_elements t.logical);
-  let phys = physical_shape t in
-  let dst = Array.make (Shape.num_elements phys) 0.0 in
-  let back = concrete_logical_of_physical t in
-  let lstrides = Shape.strides t.logical in
-  for off = 0 to Array.length dst - 1 do
-    let pidx = Shape.index_of_offset phys off in
-    match back pidx with
-    | None -> () (* zero fill (padding / overrun) *)
-    | Some lidx ->
-        let loff = ref 0 in
-        Array.iteri (fun i x -> loff := !loff + (x * lstrides.(i))) lidx;
-        dst.(off) <- src.(!loff)
-  done;
-  dst
+  if reference_mode () then Reference.pack t src
+  else begin
+    if Array.length src <> Shape.num_elements t.logical then
+      err "pack: source size %d <> logical elements %d" (Array.length src)
+        (Shape.num_elements t.logical);
+    let d = derived t in
+    let phys = d.phys in
+    let dst = Array.make (Shape.num_elements phys) 0.0 in
+    let back = Relation.compile_bwd d.rel in
+    let lstrides = Shape.strides t.logical in
+    for off = 0 to Array.length dst - 1 do
+      let pidx = Shape.index_of_offset phys off in
+      match back pidx with
+      | None -> () (* zero fill (padding / overrun) *)
+      | Some lidx ->
+          let loff = ref 0 in
+          Array.iteri (fun i x -> loff := !loff + (x * lstrides.(i))) lidx;
+          dst.(off) <- src.(!loff)
+    done;
+    dst
+  end
 
 let unpack t (src : float array) : float array =
-  (* Defined for any layout: every physical element maps back to a logical
-     position; duplicated (unfolded) elements agree by construction. *)
-  let phys = physical_shape t in
-  if Array.length src <> Shape.num_elements phys then
-    err "unpack: source size %d <> physical elements %d" (Array.length src)
-      (Shape.num_elements phys);
-  let dst = Array.make (Shape.num_elements t.logical) 0.0 in
-  let back = concrete_logical_of_physical t in
-  let lstrides = Shape.strides t.logical in
-  for off = 0 to Array.length src - 1 do
-    let pidx = Shape.index_of_offset phys off in
-    match back pidx with
-    | None -> ()
-    | Some lidx ->
-        let loff = ref 0 in
-        Array.iteri (fun i x -> loff := !loff + (x * lstrides.(i))) lidx;
-        dst.(!loff) <- src.(off)
-  done;
-  dst
+  if reference_mode () then Reference.unpack t src
+  else begin
+    let d = derived t in
+    let phys = d.phys in
+    if Array.length src <> Shape.num_elements phys then
+      err "unpack: source size %d <> physical elements %d" (Array.length src)
+        (Shape.num_elements phys);
+    let dst = Array.make (Shape.num_elements t.logical) 0.0 in
+    let back = Relation.compile_bwd d.rel in
+    let lstrides = Shape.strides t.logical in
+    for off = 0 to Array.length src - 1 do
+      let pidx = Shape.index_of_offset phys off in
+      match back pidx with
+      | None -> ()
+      | Some lidx ->
+          let loff = ref 0 in
+          Array.iteri (fun i x -> loff := !loff + (x * lstrides.(i))) lidx;
+          dst.(!loff) <- src.(off)
+    done;
+    dst
+  end
 
-(* Concrete logical index -> physical offset; rejects unfold (one-to-many).
-   Used by reference executors and [unpack] round-trip tests. *)
 let eval_fwd t : int array -> int array =
   if List.exists (function Unfold _ -> true | _ -> false) t.prims then
     err "eval_fwd: layout has unfold (one-to-many mapping)";
-  let prims = t.prims in
-  let trace = shape_trace t in
-  fun lidx ->
-    let rec go idx shapes prims =
-      match (shapes, prims) with
-      | _, [] -> idx
-      | shape :: shapes', p :: prims' ->
-          let idx' =
-            match p with
-            | Split { dim; factors } ->
-                let sizes = Array.of_list factors in
-                let m = Array.length sizes in
-                let out = Array.make m 0 in
-                let v = ref idx.(dim) in
-                for j = m - 1 downto 0 do
-                  out.(j) <- !v mod sizes.(j);
-                  v := !v / sizes.(j)
-                done;
-                Array.concat
-                  [
-                    Array.sub idx 0 dim;
-                    out;
-                    Array.sub idx (dim + 1) (Array.length idx - dim - 1);
-                  ]
-            | Reorder perm -> Array.map (fun pdim -> idx.(pdim)) perm
-            | Fuse { dim; count } ->
-                let sizes = Array.sub shape dim count in
-                let v = ref 0 in
-                for j = 0 to count - 1 do
-                  v := (!v * sizes.(j)) + idx.(dim + j)
-                done;
-                Array.concat
-                  [
-                    Array.sub idx 0 dim;
-                    [| !v |];
-                    Array.sub idx (dim + count) (Array.length idx - dim - count);
-                  ]
-            | Pad { dim; lo; hi = _ } ->
-                let idx' = Array.copy idx in
-                idx'.(dim) <- idx.(dim) + lo;
-                idx'
-            | Unfold _ -> assert false
-          in
-          go idx' shapes' prims'
-      | [], _ :: _ -> assert false
-    in
-    go (Array.copy lidx) trace prims
+  if reference_mode () then Reference.eval_fwd t
+  else Relation.compile_fwd (relation t)
+
+let phys_index t =
+  if reference_mode () then Reference.phys_index t
+  else begin
+    let fwd = eval_fwd t in
+    let phys = physical_shape t in
+    fun lidx -> Shape.offset_of_index phys (fwd lidx)
+  end
 
 let num_physical_elements t = Shape.num_elements (physical_shape t)
 
@@ -542,3 +699,13 @@ let expansion_ratio t =
    propagation duplicates a source tensor's primitives (Section 4.2). *)
 let of_prims shape prims =
   List.fold_left apply (create shape) prims
+
+let replay shape src =
+  Shape.validate shape;
+  if Shape.equal shape src.logical then
+    (* Same logical shape: the source chain is already proven legal, and
+       the copy is structurally equal to [src], so it shares the memoized
+       relation — zero re-validation.  (This is what layout propagation
+       does for every consumer of a chosen layout.) *)
+    { logical = shape; prims = src.prims }
+  else of_prims shape src.prims

@@ -6,7 +6,13 @@
     overlapped tiling and [pad] for alignment, Section 4.1.2) may expand
     data.  [store_at] couples two tensors and lives at the graph level
     ({!Alt_graph.Placement}).  Physical buffers are row-major over
-    [physical_shape]. *)
+    [physical_shape].
+
+    Concrete index semantics are carried by a canonical {!Relation}
+    (DESIGN.md §16), derived incrementally as primitives are applied;
+    the seed per-primitive implementations survive verbatim in
+    {!Reference} as the differential oracle, selectable at runtime with
+    [ALT_LAYOUT_REFERENCE=1]. *)
 
 exception Layout_error of string
 
@@ -26,6 +32,20 @@ val logical_shape : t -> Shape.t
 val physical_shape : t -> Shape.t
 val prims : t -> prim list
 val is_trivial : t -> bool
+
+val relation : t -> Relation.t
+(** The layout's index relation: domain = [logical_shape], range =
+    [physical_shape], steps = the canonicalized primitive chain.
+    Memoized; derived incrementally by {!apply}. *)
+
+val phys_strides : t -> int array
+(** Row-major element strides of the physical shape, read from the
+    relation's range — what lowering and the exec backend's
+    affine-profile extraction use. *)
+
+val conversion_cost : t -> int
+(** {!Relation.conversion_cost} of the layout's relation: one read per
+    logical element + one write per physical element. *)
 
 val has_advanced : t -> bool
 (** True if the primitive sequence contains [unfold] or [pad] — the
@@ -80,6 +100,12 @@ val eval_fwd : t -> int array -> int array
 (** Concrete logical index -> physical index; rejects layouts with
     [unfold] (one-to-many). *)
 
+val phys_index : t -> int array -> int
+(** Concrete logical index -> physical {e offset} (row-major over
+    [physical_shape]); rejects layouts with [unfold] like {!eval_fwd}.
+    Pinned byte-identical to {!Reference.phys_index} by the QCheck2
+    differential suite. *)
+
 val pack : t -> float array -> float array
 (** Materializes the physical buffer from logical row-major data (zero
     fills padding; duplicates overlapped tiles). *)
@@ -93,6 +119,31 @@ val expansion_ratio : t -> float
 (** Physical elements / logical elements (>= 1; > 1 for unfold and pad). *)
 
 val of_prims : Shape.t -> prim list -> t
-(** Replays a primitive sequence onto a fresh layout of [shape] (validated
-    step by step) — used by layout propagation to copy a source tensor's
-    primitives onto a same-shaped tensor. *)
+(** Replays a primitive sequence onto a fresh layout of [shape].  Each
+    primitive is validated exactly once against the incrementally
+    maintained physical shape (linear in chain length; the seed
+    re-validated the whole prefix per step, quadratic — the
+    [layout.relation.validate] counter ticks once per validation and a
+    regression test pins the linear count). *)
+
+val replay : Shape.t -> t -> t
+(** [replay shape src] copies [src]'s primitive chain onto a tensor of
+    [shape] — how layout propagation duplicates a chosen layout onto
+    consumers.  When [shape] equals [src]'s logical shape (the common
+    case) the already-proven relation is shared and nothing is
+    re-validated; otherwise it falls back to {!of_prims} (which raises
+    {!Layout_error} if the chain is illegal for [shape]). *)
+
+(** The seed implementations of the concrete maps, kept verbatim as the
+    differential oracle: the QCheck2 suite in test/test_relation.ml pins
+    the relation-backed [pack]/[unpack]/[eval_fwd]/[phys_index] above
+    byte-identical to these.  Setting [ALT_LAYOUT_REFERENCE=1] routes
+    the production entry points through this module at runtime (counted
+    by the [layout.relation.fallback] metric). *)
+module Reference : sig
+  val physical_shape : t -> Shape.t
+  val pack : t -> float array -> float array
+  val unpack : t -> float array -> float array
+  val eval_fwd : t -> int array -> int array
+  val phys_index : t -> int array -> int
+end

@@ -1,0 +1,425 @@
+(* Integer index relations (DESIGN.md §16).
+
+   A relation is a canonical chain of steps from a domain shape to a
+   range shape.  Three step kinds are bijective dimension surgery
+   (mixed-radix decode/encode and permutation); two are the guarded,
+   data-expanding kinds (shift = padding, window = overlapped tiling).
+   Every step knows how to run backward, so the chain is evaluated in
+   both directions; [compose] concatenates chains and canonicalizes
+   with local, semantics-preserving rewrites.  The laws — round trips
+   in both directions, compose = sequential application, idempotent
+   canonicalization — are proven by QCheck2 in test/test_relation.ml,
+   which is where the proof burden of the layout algebra now lives. *)
+
+exception Relation_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Relation_error s)) fmt
+
+type step =
+  | Decode of { dim : int; radices : int array }
+  | Encode of { dim : int; radices : int array }
+  | Permute of int array
+  | Shift of { dim : int; lo : int; hi : int }
+  | Window of { dim : int; tile : int; stride : int }
+
+type t = { dom : Shape.t; rng : Shape.t; steps : step list }
+
+let domain t = t.dom
+let range t = t.rng
+let steps t = t.steps
+
+let pp_step ppf = function
+  | Decode { dim; radices } ->
+      Fmt.pf ppf "decode(dim=%d, [%a])" dim Fmt.(array ~sep:(any ",") int) radices
+  | Encode { dim; radices } ->
+      Fmt.pf ppf "encode(dim=%d, [%a])" dim Fmt.(array ~sep:(any ",") int) radices
+  | Permute perm -> Fmt.pf ppf "permute([%a])" Fmt.(array ~sep:(any ",") int) perm
+  | Shift { dim; lo; hi } -> Fmt.pf ppf "shift(dim=%d, lo=%d, hi=%d)" dim lo hi
+  | Window { dim; tile; stride } ->
+      Fmt.pf ppf "window(dim=%d, tile=%d, stride=%d)" dim tile stride
+
+let pp ppf t =
+  Fmt.pf ppf "@[<h>%a => %a :: %a@]" Shape.pp t.dom Shape.pp t.rng
+    Fmt.(list ~sep:(any " ; ") pp_step)
+    t.steps
+
+let equal a b =
+  Shape.equal a.dom b.dom && Shape.equal a.rng b.rng && a.steps = b.steps
+
+(* ------------------------------------------------------------------ *)
+(* Shape transform (with validation)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let prod = Array.fold_left ( * ) 1
+
+let window_tiles ~d ~tile ~stride =
+  if stride <= 0 then err "window: stride %d must be positive" stride;
+  if tile > d then err "window: tile %d larger than extent %d" tile d;
+  Shape.cdiv (d - tile) stride + 1
+
+let apply_step (s : Shape.t) (st : step) : Shape.t =
+  let n = Shape.rank s in
+  match st with
+  | Decode { dim; radices } ->
+      if dim < 0 || dim >= n then err "decode: dim %d out of range" dim;
+      if Array.length radices = 0 then err "decode: empty radices";
+      if Array.exists (fun r -> r <= 0) radices then err "decode: radix <= 0";
+      if prod radices <> s.(dim) then
+        err "decode: radices product %d <> extent %d (dim %d)" (prod radices)
+          s.(dim) dim;
+      Array.concat
+        [ Array.sub s 0 dim; radices; Array.sub s (dim + 1) (n - dim - 1) ]
+  | Encode { dim; radices } ->
+      let k = Array.length radices in
+      if k = 0 then err "encode: empty radices";
+      if dim < 0 || dim + k > n then err "encode: range out of bounds";
+      Array.iteri
+        (fun j r ->
+          if s.(dim + j) <> r then
+            err "encode: extent %d at dim %d <> radix %d" s.(dim + j) (dim + j)
+              r)
+        radices;
+      Array.concat
+        [
+          Array.sub s 0 dim;
+          [| prod radices |];
+          Array.sub s (dim + k) (n - dim - k);
+        ]
+  | Permute perm ->
+      if Array.length perm <> n then err "permute: rank mismatch";
+      let seen = Array.make n false in
+      Array.iter
+        (fun p ->
+          if p < 0 || p >= n || seen.(p) then err "permute: invalid permutation";
+          seen.(p) <- true)
+        perm;
+      Array.map (fun p -> s.(p)) perm
+  | Shift { dim; lo; hi } ->
+      if dim < 0 || dim >= n then err "shift: dim out of range";
+      if lo < 0 || hi < 0 then err "shift: negative padding";
+      let s' = Array.copy s in
+      s'.(dim) <- s.(dim) + lo + hi;
+      s'
+  | Window { dim; tile; stride } ->
+      if dim < 0 || dim >= n then err "window: dim out of range";
+      let tiles = window_tiles ~d:s.(dim) ~tile ~stride in
+      Array.concat
+        [
+          Array.sub s 0 dim;
+          [| tiles; tile |];
+          Array.sub s (dim + 1) (n - dim - 1);
+        ]
+
+(* Shapes before each step, plus the final shape. *)
+let trace_of dom steps =
+  let rec go s = function
+    | [] -> [ s ]
+    | st :: tl -> s :: go (apply_step s st) tl
+  in
+  Array.of_list (go dom steps)
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalization                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let m_compose = Alt_obs.Metrics.counter "layout.relation.compose"
+let m_simplify = Alt_obs.Metrics.counter "layout.relation.simplify"
+
+let is_identity_perm perm =
+  let ok = ref true in
+  Array.iteri (fun i p -> if p <> i then ok := false) perm;
+  !ok
+
+(* One rewrite pass.  Every rule is local (head of the list or the
+   first adjacent pair) and semantics-preserving; [canon] iterates to
+   fixpoint, which makes canonicalization idempotent by construction. *)
+let rec pass (steps : step list) : step list * int =
+  match steps with
+  | [] -> ([], 0)
+  | Permute p :: rest when is_identity_perm p ->
+      let rest', k = pass rest in
+      (rest', k + 1)
+  | Decode { radices; _ } :: rest when Array.length radices = 1 ->
+      let rest', k = pass rest in
+      (rest', k + 1)
+  | Encode { radices; _ } :: rest when Array.length radices = 1 ->
+      let rest', k = pass rest in
+      (rest', k + 1)
+  | Shift { lo = 0; hi = 0; _ } :: rest ->
+      let rest', k = pass rest in
+      (rest', k + 1)
+  | Permute p :: Permute q :: rest ->
+      (* out2.(i) = out1.(q.(i)) = in.(p.(q.(i))) *)
+      let r = Array.map (fun qi -> p.(qi)) q in
+      let rest', k = pass (Permute r :: rest) in
+      (rest', k + 1)
+  | Decode { dim; radices } :: Encode { dim = d2; radices = r2 } :: rest
+    when d2 = dim && r2 = radices ->
+      let rest', k = pass rest in
+      (rest', k + 1)
+  | Encode { dim; radices } :: Decode { dim = d2; radices = r2 } :: rest
+    when d2 = dim && r2 = radices ->
+      let rest', k = pass rest in
+      (rest', k + 1)
+  | Shift { dim; lo; hi } :: Shift { dim = d2; lo = lo2; hi = hi2 } :: rest
+    when d2 = dim ->
+      let rest', k =
+        pass (Shift { dim; lo = lo + lo2; hi = hi + hi2 } :: rest)
+      in
+      (rest', k + 1)
+  | Decode { dim; radices = r1 } :: Decode { dim = d2; radices = r2 } :: rest
+    when d2 >= dim && d2 < dim + Array.length r1 && prod r2 = r1.(d2 - dim) ->
+      (* refining one digit of a decode nests: mixed-radix positional
+         decomposition is hierarchical, so both decodes flatten into one *)
+      let j = d2 - dim in
+      let merged =
+        Array.concat
+          [ Array.sub r1 0 j; r2; Array.sub r1 (j + 1) (Array.length r1 - j - 1) ]
+      in
+      let rest', k = pass (Decode { dim; radices = merged } :: rest) in
+      (rest', k + 1)
+  | st :: rest ->
+      let rest', k = pass rest in
+      (st :: rest', k)
+
+let canon_steps steps =
+  let rec fix steps budget =
+    if budget = 0 then steps
+    else
+      let steps', k = pass steps in
+      if k = 0 then steps'
+      else begin
+        Alt_obs.Metrics.add m_simplify k;
+        fix steps' (budget - 1)
+      end
+  in
+  fix steps 1000
+
+let canonicalize t = { t with steps = canon_steps t.steps }
+
+(* ------------------------------------------------------------------ *)
+(* Constructors                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let id dom =
+  Shape.validate dom;
+  { dom; rng = Array.copy dom; steps = [] }
+
+let of_step dom (st : step) =
+  let rng = apply_step dom st in
+  { dom; rng; steps = canon_steps [ st ] }
+
+let decode dom ~dim ~radices = of_step dom (Decode { dim; radices })
+let encode dom ~dim ~radices = of_step dom (Encode { dim; radices })
+let permute dom perm = of_step dom (Permute (Array.copy perm))
+let shift dom ~dim ~lo ~hi = of_step dom (Shift { dim; lo; hi })
+let window dom ~dim ~tile ~stride = of_step dom (Window { dim; tile; stride })
+
+let compose a b =
+  if not (Shape.equal a.rng b.dom) then
+    err "compose: range %a <> domain %a" Shape.pp a.rng Shape.pp b.dom;
+  Alt_obs.Metrics.incr m_compose;
+  { dom = a.dom; rng = b.rng; steps = canon_steps (a.steps @ b.steps) }
+
+let injective t =
+  List.for_all (function Window _ -> false | _ -> true) t.steps
+
+let bijective t =
+  List.for_all
+    (function Window _ | Shift _ -> false | _ -> true)
+    t.steps
+
+let invert_perm perm =
+  let inv = Array.make (Array.length perm) 0 in
+  Array.iteri (fun i p -> inv.(p) <- i) perm;
+  inv
+
+let inverse t =
+  if not (bijective t) then
+    err "inverse: relation %a is not bijective" pp t;
+  let inv_step = function
+    | Decode { dim; radices } -> Encode { dim; radices }
+    | Encode { dim; radices } -> Decode { dim; radices }
+    | Permute perm -> Permute (invert_perm perm)
+    | Shift _ | Window _ -> assert false
+  in
+  {
+    dom = t.rng;
+    rng = t.dom;
+    steps = canon_steps (List.rev_map inv_step t.steps);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Point evaluation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Forward transform of one in-domain point through one step; [Window]
+   is excluded (one-to-many) — handled separately by [fwd_points]. *)
+let step_fwd (st : step) (idx : int array) : int array =
+  let n = Array.length idx in
+  match st with
+  | Decode { dim; radices } ->
+      let m = Array.length radices in
+      let out = Array.make m 0 in
+      let v = ref idx.(dim) in
+      for j = m - 1 downto 0 do
+        out.(j) <- !v mod radices.(j);
+        v := !v / radices.(j)
+      done;
+      Array.concat
+        [ Array.sub idx 0 dim; out; Array.sub idx (dim + 1) (n - dim - 1) ]
+  | Encode { dim; radices } ->
+      let m = Array.length radices in
+      let v = ref 0 in
+      for j = 0 to m - 1 do
+        v := (!v * radices.(j)) + idx.(dim + j)
+      done;
+      Array.concat
+        [ Array.sub idx 0 dim; [| !v |]; Array.sub idx (dim + m) (n - dim - m) ]
+  | Permute perm -> Array.map (fun p -> idx.(p)) perm
+  | Shift { dim; lo; hi = _ } ->
+      let out = Array.copy idx in
+      out.(dim) <- idx.(dim) + lo;
+      out
+  | Window _ -> err "step_fwd: window is one-to-many"
+
+(* Backward transform through one step: [shape_before] is the step's
+   input shape (from the trace).  [None] = hole. *)
+let step_bwd (shape_before : Shape.t) (st : step) (idx : int array) :
+    int array option =
+  let n = Array.length idx in
+  match st with
+  | Decode { dim; radices } ->
+      let m = Array.length radices in
+      let v = ref 0 in
+      for j = 0 to m - 1 do
+        v := (!v * radices.(j)) + idx.(dim + j)
+      done;
+      Some
+        (Array.concat
+           [
+             Array.sub idx 0 dim;
+             [| !v |];
+             Array.sub idx (dim + m) (n - dim - m);
+           ])
+  | Encode { dim; radices } ->
+      let m = Array.length radices in
+      let out = Array.make m 0 in
+      let v = ref idx.(dim) in
+      for j = m - 1 downto 0 do
+        out.(j) <- !v mod radices.(j);
+        v := !v / radices.(j)
+      done;
+      Some
+        (Array.concat
+           [ Array.sub idx 0 dim; out; Array.sub idx (dim + 1) (n - dim - 1) ])
+  | Permute perm ->
+      let out = Array.make n 0 in
+      Array.iteri (fun i p -> out.(p) <- idx.(i)) perm;
+      Some out
+  | Shift { dim; lo; hi = _ } ->
+      let v = idx.(dim) - lo in
+      if v < 0 || v >= shape_before.(dim) then None
+      else begin
+        let out = Array.copy idx in
+        out.(dim) <- v;
+        Some out
+      end
+  | Window { dim; tile = _; stride } ->
+      let v = (idx.(dim) * stride) + idx.(dim + 1) in
+      if v >= shape_before.(dim) then None
+      else
+        Some
+          (Array.concat
+             [
+               Array.sub idx 0 dim;
+               [| v |];
+               Array.sub idx (dim + 2) (n - dim - 2);
+             ])
+
+let compile_bwd t =
+  let steps = Array.of_list t.steps in
+  let trace = trace_of t.dom t.steps in
+  let n = Array.length steps in
+  fun (idx : int array) ->
+    if Array.length idx <> Shape.rank t.rng then
+      err "bwd: index rank %d <> range rank %d" (Array.length idx)
+        (Shape.rank t.rng);
+    let rec go i idx =
+      if i < 0 then Some idx
+      else
+        match step_bwd trace.(i) steps.(i) idx with
+        | None -> None
+        | Some idx' -> go (i - 1) idx'
+    in
+    go (n - 1) idx
+
+let compile_fwd t =
+  if not (injective t) then
+    err "fwd: relation %a has a window (one-to-many)" pp t;
+  let steps = t.steps in
+  fun (idx : int array) ->
+    if Array.length idx <> Shape.rank t.dom then
+      err "fwd: index rank %d <> domain rank %d" (Array.length idx)
+        (Shape.rank t.dom);
+    List.fold_left (fun i st -> step_fwd st i) (Array.copy idx) steps
+
+(* All forward images: expand each window into every tile containing
+   the point; the result is sorted by range offset so the order is a
+   stable part of the contract. *)
+let fwd_points t idx =
+  if Array.length idx <> Shape.rank t.dom then
+    err "fwd_points: index rank %d <> domain rank %d" (Array.length idx)
+      (Shape.rank t.dom);
+  let trace = trace_of t.dom t.steps in
+  let pts = ref [ Array.copy idx ] in
+  List.iteri
+    (fun i st ->
+      match st with
+      | Window { dim; tile; stride } ->
+          let d = trace.(i).(dim) in
+          let tiles = window_tiles ~d ~tile ~stride in
+          pts :=
+            List.concat_map
+              (fun (p : int array) ->
+                let x = p.(dim) in
+                let t_lo = max 0 (Shape.cdiv (x - tile + 1) stride) in
+                let t_hi = min (tiles - 1) (x / stride) in
+                let n = Array.length p in
+                let rec gen tt acc =
+                  if tt < t_lo then acc
+                  else
+                    let q =
+                      Array.concat
+                        [
+                          Array.sub p 0 dim;
+                          [| tt; x - (tt * stride) |];
+                          Array.sub p (dim + 1) (n - dim - 1);
+                        ]
+                    in
+                    gen (tt - 1) (q :: acc)
+                in
+                gen t_hi [])
+              !pts
+      | _ -> pts := List.map (step_fwd st) !pts)
+    t.steps;
+  let strides = Shape.strides t.rng in
+  let off p =
+    let o = ref 0 in
+    Array.iteri (fun i x -> o := !o + (x * strides.(i))) p;
+    !o
+  in
+  List.sort (fun a b -> compare (off a) (off b)) !pts
+
+(* ------------------------------------------------------------------ *)
+(* Extents, strides and cost                                          *)
+(* ------------------------------------------------------------------ *)
+
+let range_strides t = Shape.strides t.rng
+let num_range_elements t = Shape.num_elements t.rng
+
+let expansion t =
+  float_of_int (num_range_elements t)
+  /. float_of_int (Shape.num_elements t.dom)
+
+let conversion_cost t = Shape.num_elements t.dom + Shape.num_elements t.rng

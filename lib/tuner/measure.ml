@@ -224,8 +224,7 @@ let lower_candidate (t : task) (choice : Propagate.choice)
         {
           Lower.fop = f;
           fout_layout =
-            Layout.of_prims f.Opdef.out_shape
-              (Layout.prims choice.Propagate.out_layout);
+            Layout.replay f.Opdef.out_shape choice.Propagate.out_layout;
         })
       t.fused
   in

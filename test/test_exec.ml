@@ -229,6 +229,114 @@ let test_generic_fallback () =
   Alcotest.(check bool) "outputs equal" true (Array.for_all2 bufs_equal be bs)
 
 (* ------------------------------------------------------------------ *)
+(* Relation-derived layouts: random primitive chains (DESIGN.md §16)  *)
+(* ------------------------------------------------------------------ *)
+
+(* Scaled-down mirror of test_relation's chain generator.  A conversion
+   program from a bijective src chain into an arbitrary dst chain is the
+   executable form of the relation's backward map — the pad/unfold
+   guards become Pselect zero-fills — so exec == interpreter over random
+   chains extends the round-trip laws from pack/unpack to compiled
+   kernels. *)
+
+let chain_counts =
+  match Sys.getenv_opt "ALT_RELATION_COUNT" with
+  | Some s -> ( try max 10 (int_of_string s) with _ -> 500)
+  | None -> 500
+
+let gen_chain_perm rank =
+  let open QCheck2.Gen in
+  let* swaps =
+    list_size (int_range 0 4)
+      (pair (int_range 0 (rank - 1)) (int_range 0 (rank - 1)))
+  in
+  let perm = Array.init rank (fun i -> i) in
+  List.iter
+    (fun (i, j) ->
+      let t = perm.(i) in
+      perm.(i) <- perm.(j);
+      perm.(j) <- t)
+    swaps;
+  return perm
+
+(* One random primitive applied to [l] (or [l] unchanged when the drawn
+   primitive has no legal instantiation); [basic_only] keeps the chain
+   bijective, as Lower.conversion requires of its source. *)
+let gen_chain_prim ?(basic_only = false) l =
+  let open QCheck2.Gen in
+  let phys = Layout.physical_shape l in
+  let rank = Shape.rank phys in
+  if Shape.num_elements phys > 512 then return l
+  else
+    let* k = if basic_only then int_range 0 2 else int_range 0 4 in
+    match k with
+    | 0 ->
+        let* dim = int_range 0 (rank - 1) in
+        let d = phys.(dim) in
+        let ds = List.filter (fun f -> f > 1 && f < d) (Shape.divisors d) in
+        if ds = [] then return l
+        else
+          let* f = oneofl ds in
+          return (Layout.split l ~dim ~factors:[ d / f; f ])
+    | 1 ->
+        let* perm = gen_chain_perm rank in
+        return (Layout.reorder l perm)
+    | 2 ->
+        if rank < 2 then return l
+        else
+          let* dim = int_range 0 (rank - 2) in
+          let* count = int_range 2 (min 3 (rank - dim)) in
+          return (Layout.fuse l ~dim ~count)
+    | 3 ->
+        let* dim = int_range 0 (rank - 1) in
+        let* lo = int_range 0 2 in
+        let* hi = int_range 0 2 in
+        if lo = 0 && hi = 0 then return l
+        else return (Layout.pad l ~dim ~lo ~hi)
+    | _ ->
+        let* dim = int_range 0 (rank - 1) in
+        let d = phys.(dim) in
+        if d < 2 then return l
+        else
+          let* tile = int_range 2 (min d 4) in
+          let* stride = int_range 1 tile in
+          return (Layout.unfold l ~dim ~tile ~stride)
+
+let gen_layout_chain ?basic_only shape =
+  let open QCheck2.Gen in
+  let* depth = int_range 0 4 in
+  let rec go l n =
+    if n = 0 then return l
+    else bind (gen_chain_prim ?basic_only l) (fun l' -> go l' (n - 1))
+  in
+  go (trivial shape) depth
+
+let gen_conversion_pair =
+  let open QCheck2.Gen in
+  let* rank = int_range 1 3 in
+  let* dims = list_repeat rank (oneofl [ 2; 3; 4; 6 ]) in
+  let shape = Array.of_list dims in
+  let* src = gen_layout_chain ~basic_only:true shape in
+  let* dst = gen_layout_chain shape in
+  return (src, dst)
+
+let prop_relation_chains =
+  QCheck2.Test.make ~count:chain_counts
+    ~name:"random primitive chains: conversion exec == interpreter"
+    ~print:(fun (src, dst) ->
+      Fmt.str "src=%a dst=%a" Layout.pp src Layout.pp dst)
+    gen_conversion_pair
+    (fun (src, dst) ->
+      let prog = Lower.conversion ~src ~dst () in
+      let logical =
+        Array.init
+          (Shape.num_elements (Layout.logical_shape src))
+          (fun i -> float_of_int (i + 1))
+      in
+      prog_differential Machine.intel_cpu prog
+        ~inputs:[ ("convert.src", logical) ])
+
+(* ------------------------------------------------------------------ *)
 (* Measurement discipline                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -434,6 +542,71 @@ let test_forced_fallback () =
     k4.Kernel.stats.Kernel.par_chunks;
   Alcotest.(check bool) "outputs identical" true
     (Array.for_all2 bufs_equal b1 b4)
+
+(* The disjointness check driven by the relation algebra: an overlapped
+   unfold (stride < tile) makes the window relation non-injective, so a
+   nest whose parallel loop runs over tiles while storing back through
+   the inverse window map [t*stride + r] has chunks with overlapping
+   write footprints.  The driver must refuse to chunk and fall back,
+   with bit-identical outputs (the overlapped writes carry equal values,
+   but the checker cannot know that). *)
+let test_relation_noninjective_fallback () =
+  let d = 7 and tile = 3 and stride = 2 in
+  let src = Layout.unfold (trivial [| d |]) ~dim:0 ~tile ~stride in
+  Alcotest.(check bool)
+    "overlapped window relation is non-injective" false
+    (Relation.injective (Layout.relation src));
+  let tiles = (Layout.physical_shape src).(0) in
+  let t = Var.fresh "t" and r = Var.fresh "r" in
+  let prog =
+    {
+      Program.pname = "overlap_unfold";
+      body =
+        Program.For
+          ( { Program.v = t; extent = tiles; kind = Program.Parallel },
+            Program.For
+              ( { Program.v = r; extent = tile; kind = Program.Serial },
+                Program.Store
+                  ( {
+                      Program.slot = 1;
+                      idx =
+                        [|
+                          Ixexpr.Add
+                            ( Ixexpr.Mul (Ixexpr.Var t, Ixexpr.Const stride),
+                              Ixexpr.Var r );
+                        |];
+                    },
+                    Program.Pload
+                      {
+                        Program.slot = 0;
+                        idx = [| Ixexpr.Var t; Ixexpr.Var r |];
+                      } ) ) );
+      slots =
+        [|
+          { Program.sname = "X"; layout = src; role = Program.Input };
+          { Program.sname = "Y"; layout = trivial [| d |];
+            role = Program.Output };
+        |];
+      flops = 0;
+    }
+  in
+  let logical = Array.init d (fun i -> float_of_int (i + 1)) in
+  let inputs = [ ("X", logical) ] in
+  let k1, b1 = run_with_domains ~domains:1 prog ~inputs in
+  let k4, b4 = run_with_domains ~domains:4 prog ~inputs in
+  Alcotest.(check int) "serial path has no fallback tick" 0
+    k1.Kernel.stats.Kernel.par_fallbacks;
+  Alcotest.(check int) "fallback counted" 1
+    k4.Kernel.stats.Kernel.par_fallbacks;
+  Alcotest.(check int) "no chunks dispatched" 0
+    k4.Kernel.stats.Kernel.par_chunks;
+  Alcotest.(check bool) "outputs identical" true
+    (Array.for_all2 bufs_equal b1 b4);
+  (* folding the unfolded view back through the inverse window map must
+     reproduce the logical tensor exactly *)
+  let yi = Program.slot_index prog "Y" in
+  Alcotest.(check bool) "inverse window reconstructs the tensor" true
+    (bufs_equal b1.(yi) logical)
 
 let test_reset_required () =
   (* the Reduce-accumulation footgun (kernel.mli): back-to-back runs
@@ -664,6 +837,7 @@ let () =
           [
             prop_differential conv_op 6 "conv2d: exec == interpreter (3 machines)";
             prop_differential gmm_op 3 "matmul: exec == interpreter (3 machines)";
+            prop_relation_chains;
           ]
         @ [
             Alcotest.test_case "ALT template (split/reorder/unfold)" `Quick
@@ -693,6 +867,8 @@ let () =
               test_parallel_engages;
             Alcotest.test_case "non-disjoint nest falls back" `Quick
               test_forced_fallback;
+            Alcotest.test_case "non-injective window relation falls back"
+              `Quick test_relation_noninjective_fallback;
           ] );
       ( "measurement",
         [

@@ -362,7 +362,7 @@ let test_trace_golden () =
       {|{"ph":"E","name":"profiler.run","attrs":{}}|};
       {|{"ph":"E","name":"measure.sim","attrs":{}}|};
       {|{"ph":"E","name":"measure.batch","attrs":{}}|};
-      {|{"ph":"I","name":"tuner.round","attrs":{"round":1,"generated":8,"measured":4,"spent":4,"cache_hits":0,"cache_misses":4,"faulted":0,"retried":0,"quarantined":0,"best_latency_ms":0.25}}|};
+      {|{"ph":"I","name":"tuner.round","attrs":{"round":1,"generated":8,"measured":4,"spent":4,"cache_hits":0,"cache_misses":4,"faulted":0,"retried":0,"quarantined":0,"best_latency_ms":0.25,"layout_chain_depth":1}}|};
       {|{"ph":"B","name":"checkpoint.save","attrs":{}}|};
       {|{"ph":"E","name":"checkpoint.save","attrs":{}}|};
       {|{"ph":"E","name":"tuner.tune_alt","attrs":{}}|};
@@ -586,6 +586,7 @@ let required_round_attrs =
   [
     "round"; "generated"; "measured"; "spent"; "cache_hits"; "cache_misses";
     "faulted"; "retried"; "quarantined"; "gbdt_fit_ms"; "best_latency_ms";
+    "layout_chain_depth";
   ]
 
 let test_trace_real_run_roundtrip () =
